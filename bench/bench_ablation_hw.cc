@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Hardware-design ablations called out in DESIGN.md:
+ *  - speculative log-record rounding (Section III-B1): create records
+ *    for clean words so aggregated L2 log bits stay set, trading
+ *    extra records against duplicate logging after refetch;
+ *  - transaction-ID count (Section III-C2): how deep the lazy window
+ *    is before the circular allocator forces persists;
+ *  - the tiered coalescing log buffer itself: FG with the buffer vs
+ *    FG persisting each record as it is created.
+ */
+
+#include "bench_common.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+ExperimentResult
+runWith(const std::string &workload, SchemeKind kind, bool speculative,
+        std::uint8_t txn_ids)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = kind;
+    cfg.ycsb.numOps = 1000;
+    cfg.ycsb.valueBytes = 256;
+    cfg.speculativeRounding = speculative;
+    cfg.numTxnIds = txn_ids;
+    return runExperiment(workload, cfg);
+}
+
+void
+printSpeculative()
+{
+    TableReport table(
+        "Ablation: speculative log-bit rounding (Section III-B1)");
+    table.header({"benchmark", "records off", "records on",
+                  "traffic off KB", "traffic on KB", "speedup on/off"});
+    for (const auto &workload : kernelWorkloads()) {
+        const auto off = runWith(workload, SchemeKind::SLPMT, false, 4);
+        const auto on = runWith(workload, SchemeKind::SLPMT, true, 4);
+        table.row({workload, TableReport::integer(off.logRecords),
+                   TableReport::integer(on.logRecords),
+                   TableReport::num(
+                       static_cast<double>(off.pmWriteBytes) / 1024.0),
+                   TableReport::num(
+                       static_cast<double>(on.pmWriteBytes) / 1024.0),
+                   TableReport::ratio(on.speedupOver(off))});
+    }
+    table.print();
+}
+
+void
+printTxnIds()
+{
+    TableReport table(
+        "Ablation: transaction-ID count (lazy window depth)");
+    const std::vector<std::uint8_t> counts = {1, 2, 4, 8};
+    std::vector<std::string> cols = {"benchmark"};
+    for (auto n : counts)
+        cols.push_back(std::to_string(n) + " IDs");
+    table.header(cols);
+    for (const auto &workload : {std::string("hashtable"),
+                                 std::string("avl")}) {
+        const auto base = runWith(workload, SchemeKind::FG, false, 4);
+        std::vector<std::string> row = {workload};
+        for (auto n : counts) {
+            const auto res = runWith(workload, SchemeKind::SLPMT, false,
+                                     n);
+            row.push_back(TableReport::ratio(res.speedupOver(base)));
+        }
+        table.row(row);
+    }
+    table.print();
+}
+
+void
+printLogBuffer()
+{
+    TableReport table(
+        "Ablation: tiered coalescing log buffer (FG with vs without)");
+    table.header({"benchmark", "with buffer KB", "without buffer KB",
+                  "speedup with/without"});
+    for (const auto &workload : kernelWorkloads()) {
+        ExperimentConfig with_cfg;
+        with_cfg.scheme = SchemeKind::FG;
+        with_cfg.ycsb.numOps = 1000;
+        with_cfg.ycsb.valueBytes = 256;
+        const auto with_buf = runExperiment(workload, with_cfg);
+
+        // FG without the buffer: like EDE's persist-per-record but
+        // with hardware record creation (no software costs).
+        ExperimentConfig without_cfg = with_cfg;
+        without_cfg.scheme = SchemeKind::EDE;
+        const auto without_buf = runExperiment(workload, without_cfg);
+
+        table.row({workload,
+                   TableReport::num(
+                       static_cast<double>(with_buf.pmWriteBytes) /
+                       1024.0),
+                   TableReport::num(
+                       static_cast<double>(without_buf.pmWriteBytes) /
+                       1024.0),
+                   TableReport::ratio(with_buf.speedupOver(without_buf))});
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    using namespace slpmt;
+
+    for (const auto &workload : kernelWorkloads()) {
+        for (bool spec : {false, true}) {
+            const std::string name = "ablation/spec_" +
+                                     std::string(spec ? "on" : "off") +
+                                     "/" + workload;
+            benchmark::RegisterBenchmark(
+                name.c_str(), [workload, spec](benchmark::State &s) {
+                    ExperimentResult res;
+                    for (auto _ : s)
+                        res = runWith(workload, SchemeKind::SLPMT, spec,
+                                      4);
+                    s.counters["sim_cycles"] =
+                        static_cast<double>(res.cycles);
+                    s.counters["pm_write_bytes"] =
+                        static_cast<double>(res.pmWriteBytes);
+                    s.counters["verified"] = res.verified ? 1 : 0;
+                })->Iterations(1)->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    printSpeculative();
+    printTxnIds();
+    printLogBuffer();
+    return 0;
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Section V-A extension: optimising in-place update transactions.
+ *
+ * Conventional undo-logged in-place updates pay random PM writes on
+ * the commit path. The SLPMT strategy updates the data with lazy but
+ * *logged* storeT and appends the new value to a sequential array
+ * with eager log-free storeT: at commit only the sequential array is
+ * persisted and the updated records stay in the cache. If a crash
+ * interrupts the transaction, the undo records roll it back; if it
+ * hits after the commit, the sequential records act as a redo log
+ * without address indirection.
+ *
+ * The bench runs a random-update workload both ways, verifies the
+ * crash-recovery claims, and reports cycles and PM write traffic.
+ */
+
+#include "bench_common.hh"
+
+#include "core/pm_system.hh"
+#include "core/tx.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+constexpr std::size_t numRecords = 256;  // hot set: updates coalesce in cache
+constexpr Bytes recordBytes = 64;
+constexpr std::size_t numTxns = 500;
+constexpr std::size_t updatesPerTxn = 8;
+
+struct InPlaceResult
+{
+    Cycles cycles = 0;
+    Bytes pmBytes = 0;
+    bool recovered = false;
+};
+
+/**
+ * Layout: records array + a sequential side array of
+ * {value[64], addr} entries. The entry's address word doubles as the
+ * publish/valid flag (fresh heap memory reads as zero), so recovery
+ * finds the tail by scanning — no durable tail counter whose update
+ * would put the side array into every transaction's working set and
+ * force the lazy data out each commit.
+ */
+struct Arena
+{
+    Addr records;
+    Addr side;  //!< sequential redo array (entries of 72 B)
+};
+
+constexpr Bytes entryBytes = recordBytes + 8;
+
+Arena
+setupArena(PmSystem &sys)
+{
+    Arena arena;
+    arena.records = sys.heap().alloc(numRecords * recordBytes);
+    arena.side =
+        sys.heap().alloc((numTxns * updatesPerTxn + 1) * entryBytes);
+    sys.quiesce();
+    return arena;
+}
+
+std::array<std::uint8_t, recordBytes>
+valueFor(std::uint64_t txn, std::uint64_t slot)
+{
+    std::array<std::uint8_t, recordBytes> value{};
+    std::uint64_t state = txn * 1315423911ULL + slot;
+    for (auto &b : value)
+        b = static_cast<std::uint8_t>(splitmix64(state));
+    return value;
+}
+
+/** Conventional eager undo-logged in-place updates. */
+InPlaceResult
+runConventional(bool crash_after, std::uint64_t seq_factor,
+                std::uint64_t write_lat_ns)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    cfg.pm.sequentialFactor = seq_factor;
+    cfg.pm.writeLatencyNs = write_lat_ns;
+    PmSystem sys(cfg);
+    const Arena arena = setupArena(sys);
+    Rng rng(7);
+
+    const Cycles start = sys.cycles();
+    const auto before = sys.stats().snapshot();
+    for (std::size_t t = 0; t < numTxns; ++t) {
+        DurableTx tx(sys);
+        for (std::size_t u = 0; u < updatesPerTxn; ++u) {
+            const std::uint64_t slot = rng.below(numRecords);
+            const auto value = valueFor(t, slot);
+            sys.writeBytes(arena.records + slot * recordBytes,
+                           value.data(), recordBytes);
+        }
+        tx.commit();
+    }
+    const auto after = sys.stats().snapshot();
+
+    InPlaceResult out;
+    out.cycles = sys.cycles() - start;
+    out.pmBytes = StatsRegistry::delta(before, after)["pm.bytesWritten"];
+    out.recovered = true;
+    if (crash_after) {
+        sys.crash();
+        sys.recoverHardware();
+        // Committed eagerly: everything durable already.
+    }
+    return out;
+}
+
+/** The Section V-A strategy. */
+InPlaceResult
+runSlpmtInPlace(bool crash_after, std::uint64_t seq_factor,
+                std::uint64_t write_lat_ns)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    cfg.pm.sequentialFactor = seq_factor;
+    cfg.pm.writeLatencyNs = write_lat_ns;
+    PmSystem sys(cfg);
+    const Arena arena = setupArena(sys);
+    Rng rng(7);
+
+    // Track expected final contents for the recovery check.
+    std::vector<std::array<std::uint8_t, recordBytes>> expected(
+        numRecords);
+
+    const Cycles start = sys.cycles();
+    const auto before = sys.stats().snapshot();
+    std::uint64_t tail = 0;
+    for (std::size_t t = 0; t < numTxns; ++t) {
+        DurableTx tx(sys);
+        for (std::size_t u = 0; u < updatesPerTxn; ++u) {
+            const std::uint64_t slot = rng.below(numRecords);
+            const auto value = valueFor(t, slot);
+            expected[slot] = value;
+            const Addr target = arena.records + slot * recordBytes;
+            // Lazy but logged update of the data in place.
+            sys.writeBytesT(target, value.data(), recordBytes,
+                            {.lazy = true, .logFree = false});
+            // Eager log-free sequential record {value, addr}; the
+            // address word is written last and publishes the entry.
+            const Addr entry = arena.side + tail * entryBytes;
+            sys.writeBytesT(entry, value.data(), recordBytes,
+                            {.lazy = false, .logFree = true});
+            sys.writeT<Addr>(entry + recordBytes, target,
+                             {.lazy = false, .logFree = true});
+            ++tail;
+        }
+        tx.commit();
+    }
+    const auto after = sys.stats().snapshot();
+
+    InPlaceResult out;
+    out.cycles = sys.cycles() - start;
+    out.pmBytes = StatsRegistry::delta(before, after)["pm.bytesWritten"];
+
+    if (crash_after) {
+        // Crash with lazily persistent records still in the cache:
+        // replay the sequential array as a redo log (Section V-A),
+        // scanning until the first unpublished entry.
+        sys.crash();
+        sys.recoverHardware();
+        for (std::uint64_t i = 0;; ++i) {
+            const Addr entry = arena.side + i * entryBytes;
+            const Addr target = sys.peek<Addr>(entry + recordBytes);
+            if (target == 0)
+                break;
+            std::uint8_t value[recordBytes];
+            sys.peekBytes(entry, value, recordBytes);
+            sys.pm().poke(target, value, recordBytes);
+        }
+        out.recovered = true;
+        for (std::size_t slot = 0; slot < numRecords; ++slot) {
+            std::array<std::uint8_t, recordBytes> got{};
+            sys.peekBytes(arena.records + slot * recordBytes,
+                          got.data(), recordBytes);
+            if (got != expected[slot]) {
+                out.recovered = false;
+                break;
+            }
+        }
+    } else {
+        out.recovered = true;
+    }
+    return out;
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    using namespace slpmt;
+
+    benchmark::RegisterBenchmark(
+        "inplace/conventional", [](benchmark::State &s) {
+            InPlaceResult res;
+            for (auto _ : s)
+                res = runConventional(false, 4, 500);
+            s.counters["sim_cycles"] = static_cast<double>(res.cycles);
+            s.counters["pm_write_bytes"] =
+                static_cast<double>(res.pmBytes);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        "inplace/slpmt_sectionVA", [](benchmark::State &s) {
+            InPlaceResult res;
+            for (auto _ : s)
+                res = runSlpmtInPlace(false, 4, 500);
+            s.counters["sim_cycles"] = static_cast<double>(res.cycles);
+            s.counters["pm_write_bytes"] =
+                static_cast<double>(res.pmBytes);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Sweep the device's sequential-over-random write advantage: the
+    // strategy converts random commit-path writes into one sequential
+    // stream, so its benefit appears once the asymmetry is real.
+    TableReport table(
+        "Section V-A: in-place update transactions — conventional vs "
+        "lazy+sequential-record strategy vs PM write asymmetry");
+    table.header({"device", "conventional cycles",
+                  "Section V-A cycles", "speedup", "recovery"});
+    bool all_ok = true;
+    struct Device { const char *name; std::uint64_t lat; std::uint64_t seq; };
+    const Device devices[] = {
+        {"Optane-class 500ns, flat", 500, 1},
+        {"CXL-flash 2300ns, seq 8x", 2300, 8},
+        {"CXL-flash 2300ns, seq 32x", 2300, 32},
+    };
+    for (const Device &d : devices) {
+        const InPlaceResult conv = runConventional(true, d.seq, d.lat);
+        const InPlaceResult opt = runSlpmtInPlace(true, d.seq, d.lat);
+        all_ok = all_ok && conv.recovered && opt.recovered;
+        table.row({d.name,
+                   TableReport::integer(conv.cycles),
+                   TableReport::integer(opt.cycles),
+                   TableReport::ratio(static_cast<double>(conv.cycles) /
+                                      static_cast<double>(opt.cycles)),
+                   conv.recovered && opt.recovered ? "ok" : "FAILED"});
+    }
+    table.print();
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-regeneration benchmarks.
+ *
+ * Each bench binary is a google-benchmark executable: every
+ * (workload, scheme, parameter) cell runs as one benchmark case whose
+ * counters carry the simulated cycles and PM write traffic. After the
+ * benchmark pass, main() prints the corresponding paper table/figure
+ * as rows of speedups / traffic reductions over the proper baseline.
+ */
+
+#ifndef SLPMT_BENCH_BENCH_COMMON_HH
+#define SLPMT_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+namespace slpmt
+{
+
+/** Results collected across benchmark cases, keyed by free-form id. */
+class ResultStore
+{
+  public:
+    void
+    put(const std::string &key, const ExperimentResult &res)
+    {
+        results[key] = res;
+    }
+
+    const ExperimentResult &
+    get(const std::string &key) const
+    {
+        auto it = results.find(key);
+        if (it == results.end())
+            fatal("missing benchmark result: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const { return results.count(key); }
+
+    bool
+    allVerified(std::string *failures) const
+    {
+        bool ok = true;
+        for (const auto &[key, res] : results) {
+            if (!res.verified) {
+                ok = false;
+                if (failures)
+                    *failures += key + ": " + res.failure + "\n";
+            }
+        }
+        return ok;
+    }
+
+  private:
+    std::map<std::string, ExperimentResult> results;
+};
+
+inline ResultStore &
+resultStore()
+{
+    static ResultStore store;
+    return store;
+}
+
+/** Run one experiment inside a benchmark case and record it. */
+inline void
+runCase(benchmark::State &state, const std::string &key,
+        const std::string &workload, const ExperimentConfig &cfg)
+{
+    ExperimentResult res;
+    for (auto _ : state)
+        res = runExperiment(workload, cfg);
+    state.counters["sim_cycles"] =
+        static_cast<double>(res.cycles);
+    state.counters["pm_write_bytes"] =
+        static_cast<double>(res.pmWriteBytes);
+    state.counters["log_records"] =
+        static_cast<double>(res.logRecords);
+    state.counters["verified"] = res.verified ? 1 : 0;
+    resultStore().put(key, res);
+}
+
+inline std::string
+caseKey(const std::string &workload, SchemeKind scheme,
+        const std::string &suffix = "")
+{
+    return workload + "/" + schemeName(scheme) +
+           (suffix.empty() ? "" : "/" + suffix);
+}
+
+/** Geometric mean of a list of ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Exit non-zero when any collected run failed verification. */
+inline int
+verifyAllOrFail()
+{
+    std::string failures;
+    if (!resultStore().allVerified(&failures)) {
+        std::fprintf(stderr, "VERIFICATION FAILURES:\n%s",
+                     failures.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_BENCH_BENCH_COMMON_HH

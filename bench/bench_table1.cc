@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Table I: the semantics and per-instruction cost of each store /
+ * storeT form. For every (lazy, log-free) combination the bench
+ * verifies the persist/log bits the hardware sets and measures the
+ * average cycles per store (a storeT that skips logging is cheaper;
+ * a lazy storeT additionally removes the line from the commit scan).
+ */
+
+#include "bench_common.hh"
+
+#include "core/pm_system.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+struct Form
+{
+    const char *name;
+    bool isStoreT;
+    StoreFlags flags;
+    bool expectPersist;
+    bool expectLog;
+};
+
+const Form forms[] = {
+    {"store", false, {false, false}, true, true},
+    {"storeT lazy=0 logfree=0", true, {false, false}, true, true},
+    {"storeT lazy=0 logfree=1", true, {false, true}, true, false},
+    {"storeT lazy=1 logfree=1", true, {true, true}, false, false},
+    {"storeT lazy=1 logfree=0", true, {true, false}, false, true},
+};
+
+struct FormResult
+{
+    bool bitsOk = false;
+    double cyclesPerStore = 0;
+    double commitCycles = 0;
+};
+
+FormResult
+measure(const Form &form)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    PmSystem sys(cfg);
+    FormResult out;
+
+    // Semantics check on one line.
+    {
+        const Addr addr = sys.heap().alloc(64);
+        sys.txBegin();
+        sys.writeT<std::uint64_t>(addr, 1, form.flags);
+        const CacheLine *line = sys.hierarchy().findPrivate(addr);
+        out.bitsOk = line && line->persistBit == form.expectPersist &&
+                     (line->logBits != 0) == form.expectLog;
+        sys.txCommit();
+        sys.engine().persistAllLazy();
+    }
+
+    // Cost: 64 transactions of 64 stores each over a warm region.
+    const Addr region = sys.heap().alloc(64 * wordSize);
+    for (std::size_t w = 0; w < 64; ++w)
+        sys.write<std::uint64_t>(region + w * wordSize, 0);
+    sys.quiesce();
+
+    const Cycles start = sys.cycles();
+    Cycles commit_total = 0;
+    for (int t = 0; t < 64; ++t) {
+        sys.txBegin();
+        for (std::size_t w = 0; w < 64; ++w)
+            sys.writeT<std::uint64_t>(region + w * wordSize, t,
+                                      form.flags);
+        const Cycles before_commit = sys.cycles();
+        sys.txCommit();
+        commit_total += sys.cycles() - before_commit;
+    }
+    const Cycles total = sys.cycles() - start;
+    out.cyclesPerStore = static_cast<double>(total - commit_total) /
+                         (64.0 * 64.0);
+    out.commitCycles = static_cast<double>(commit_total) / 64.0;
+    return out;
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    using namespace slpmt;
+
+    // Register the forms as benchmark cases as well.
+    for (const Form &form : forms) {
+        benchmark::RegisterBenchmark(
+            (std::string("table1/") + form.name).c_str(),
+            [form](benchmark::State &state) {
+                FormResult res;
+                for (auto _ : state)
+                    res = measure(form);
+                state.counters["cycles_per_store"] = res.cyclesPerStore;
+                state.counters["commit_cycles"] = res.commitCycles;
+                state.counters["bits_ok"] = res.bitsOk ? 1 : 0;
+            })
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    TableReport table("Table I: store/storeT semantics and cost");
+    table.header({"instruction", "persist bit", "log bit", "bits ok",
+                  "cycles/store", "commit cycles/txn"});
+    bool all_ok = true;
+    for (const Form &form : forms) {
+        const FormResult res = measure(form);
+        all_ok = all_ok && res.bitsOk;
+        table.row({form.name, form.expectPersist ? "1" : "0",
+                   form.expectLog ? "1" : "0", res.bitsOk ? "yes" : "NO",
+                   TableReport::num(res.cyclesPerStore),
+                   TableReport::num(res.commitCycles)});
+    }
+    table.print();
+    return all_ok ? 0 : 1;
+}

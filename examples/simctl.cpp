@@ -1,0 +1,133 @@
+/**
+ * @file
+ * simctl: command-line experiment driver.
+ *
+ * Runs one (workload, scheme) experiment with every knob on the
+ * command line and prints the metrics — the quickest way to explore
+ * the design space without writing code.
+ *
+ *   ./simctl --workload hashtable --scheme SLPMT \
+ *               --ops 1000 --value 256 --write-latency 500 \
+ *               [--annotations manual|compiler|none] [--redo] \
+ *               [--spec-rounding] [--txn-ids N]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace slpmt;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: simctl [--workload NAME] [--scheme NAME]\n"
+        "                 [--ops N] [--value BYTES]\n"
+        "                 [--write-latency NS] [--annotations MODE]\n"
+        "                 [--redo] [--spec-rounding] [--txn-ids N]\n"
+        "  workloads: hashtable rbtree heap avl kv-btree kv-ctree"
+        " kv-rtree\n"
+        "  schemes:   FG FG+LG FG+LZ SLPMT SLPMT-CL ATOM EDE\n"
+        "  modes:     manual compiler none\n");
+}
+
+SchemeKind
+parseScheme(const std::string &name)
+{
+    for (SchemeKind kind :
+         {SchemeKind::FG, SchemeKind::FG_LG, SchemeKind::FG_LZ,
+          SchemeKind::SLPMT, SchemeKind::SLPMT_CL, SchemeKind::ATOM,
+          SchemeKind::EDE}) {
+        if (schemeName(kind) == name)
+            return kind;
+    }
+    fatal("unknown scheme: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "hashtable";
+    ExperimentConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--scheme") {
+            cfg.scheme = parseScheme(next());
+        } else if (arg == "--ops") {
+            cfg.ycsb.numOps =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--value") {
+            cfg.ycsb.valueBytes =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--write-latency") {
+            cfg.pmWriteLatencyNs = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--annotations") {
+            const std::string mode = next();
+            if (mode == "manual")
+                cfg.annotations = AnnotationMode::Manual;
+            else if (mode == "compiler")
+                cfg.annotations = AnnotationMode::Compiler;
+            else if (mode == "none")
+                cfg.annotations = AnnotationMode::None;
+            else {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--redo") {
+            cfg.style = LoggingStyle::Redo;
+        } else if (arg == "--spec-rounding") {
+            cfg.speculativeRounding = true;
+        } else if (arg == "--txn-ids") {
+            cfg.numTxnIds =
+                static_cast<std::uint8_t>(std::atoi(next().c_str()));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    const ExperimentResult res = runExperiment(workload, cfg);
+
+    std::printf("workload        %s\n", workload.c_str());
+    std::printf("scheme          %s (%s logging)\n",
+                schemeName(cfg.scheme).c_str(),
+                cfg.style == LoggingStyle::Undo ? "undo" : "redo");
+    std::printf("operations      %zu inserts, %zu-byte values\n",
+                cfg.ycsb.numOps, cfg.ycsb.valueBytes);
+    std::printf("cycles          %" PRIu64 " (%.2f us at 2 GHz)\n",
+                res.cycles, static_cast<double>(res.cycles) / 2000.0);
+    std::printf("PM writes       %" PRIu64 " bytes (%" PRIu64
+                " data + %" PRIu64 " log)\n",
+                res.pmWriteBytes, res.pmDataBytes, res.pmLogBytes);
+    std::printf("log records     %" PRIu64 "\n", res.logRecords);
+    std::printf("commits         %" PRIu64 "\n", res.commits);
+    std::printf("verification    %s%s\n",
+                res.verified ? "passed" : "FAILED: ",
+                res.verified ? "" : res.failure.c_str());
+    return res.verified ? 0 : 1;
+}

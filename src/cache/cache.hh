@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A generic set-associative, LRU-replacement cache array used for all
+ * three levels of the hierarchy. The array itself is policy-free: the
+ * CacheHierarchy decides what happens to victims and how metadata
+ * moves between levels.
+ */
+
+#ifndef SLPMT_CACHE_CACHE_HH
+#define SLPMT_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/cache_line.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace slpmt
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name;
+    Bytes sizeBytes;
+    std::size_t ways;
+    Cycles hitLatency;
+};
+
+/** Set-associative cache array with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg)
+        : config(cfg),
+          numSets(cfg.sizeBytes / cacheLineSize / cfg.ways),
+          lines(numSets * cfg.ways)
+    {
+        panicIfNot(numSets > 0 && (numSets & (numSets - 1)) == 0,
+                   config.name + ": set count must be a power of two");
+    }
+
+    const std::string &name() const { return config.name; }
+    Cycles hitLatency() const { return config.hitLatency; }
+    std::size_t sets() const { return numSets; }
+    std::size_t ways() const { return config.ways; }
+
+    /** Find a valid line holding @p addr's cache line, or nullptr. */
+    CacheLine *
+    find(Addr addr)
+    {
+        const Addr base = lineBase(addr);
+        for (auto &line : setOf(base)) {
+            if (line.valid() && line.tag == base)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    const CacheLine *
+    find(Addr addr) const
+    {
+        return const_cast<Cache *>(this)->find(addr);
+    }
+
+    /**
+     * Choose the victim frame for filling @p addr: an invalid way if
+     * one exists, otherwise the LRU way. The caller must handle any
+     * valid victim (writeback, metadata propagation) before reusing
+     * the frame.
+     */
+    CacheLine &
+    victimFor(Addr addr)
+    {
+        auto set = setOf(lineBase(addr));
+        CacheLine *victim = &set[0];
+        for (auto &line : set) {
+            if (!line.valid())
+                return line;
+            if (line.lastUse < victim->lastUse)
+                victim = &line;
+        }
+        return *victim;
+    }
+
+    /** Bump a line's LRU timestamp. */
+    void touch(CacheLine &line) { line.lastUse = ++useClock; }
+
+    /** Apply @p fn to every valid line (scans for commit/abort). */
+    void
+    forEachValid(const std::function<void(CacheLine &)> &fn)
+    {
+        for (auto &line : lines) {
+            if (line.valid())
+                fn(line);
+        }
+    }
+
+    /** Invalidate every line (crash simulation). */
+    void
+    invalidateAll()
+    {
+        for (auto &line : lines)
+            line.invalidate();
+    }
+
+    /** Count valid lines matching a predicate (test support). */
+    std::size_t
+    countIf(const std::function<bool(const CacheLine &)> &pred) const
+    {
+        std::size_t n = 0;
+        for (const auto &line : lines) {
+            if (line.valid() && pred(line))
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    std::span<CacheLine>
+    setOf(Addr base)
+    {
+        const std::size_t index =
+            static_cast<std::size_t>(base / cacheLineSize) & (numSets - 1);
+        return {lines.data() + index * config.ways, config.ways};
+    }
+
+    CacheConfig config;
+    std::size_t numSets;
+    std::vector<CacheLine> lines;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_CACHE_CACHE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cache-line state including the SLPMT metadata of Figure 5.
+ *
+ * Every L1 and L2 line carries, in addition to MESI state:
+ *  - a persist bit: the line must be persisted at transaction commit;
+ *  - a log bitmap: which parts of the line already have an undo log
+ *    record (8 bits at word granularity in L1, 2 bits at 32-byte
+ *    granularity in L2, none in L3);
+ *  - a 2-bit transaction ID naming the core-local transaction that
+ *    last updated the line, used by lazy persistency.
+ */
+
+#ifndef SLPMT_CACHE_CACHE_LINE_HH
+#define SLPMT_CACHE_CACHE_LINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace slpmt
+{
+
+/** MESI coherence states (single-writer, multiple-reader). */
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Sentinel meaning "no transaction owns this line". */
+inline constexpr std::uint8_t noTxnId = 0xFF;
+
+/** One cache line with SLPMT metadata. */
+struct CacheLine
+{
+    Addr tag = 0;                 //!< line-aligned base address
+    MesiState state = MesiState::Invalid;
+    bool dirty = false;           //!< newer than the next level down
+
+    bool persistBit = false;      //!< persist at commit (Table I)
+    std::uint8_t logBits = 0;     //!< per-word (L1) / per-32B (L2) map
+    std::uint8_t txnId = noTxnId; //!< owning core-local transaction
+    std::uint64_t txnSeq = 0;     //!< global sequence of owning txn
+
+    std::uint64_t lastUse = 0;    //!< LRU timestamp
+    std::array<std::uint8_t, cacheLineSize> data{};
+
+    bool valid() const { return state != MesiState::Invalid; }
+
+    /** Clear all transactional metadata (line content untouched). */
+    void
+    clearTxnMeta()
+    {
+        persistBit = false;
+        logBits = 0;
+        txnId = noTxnId;
+        txnSeq = 0;
+    }
+
+    /** Reset to an invalid line. */
+    void
+    invalidate()
+    {
+        state = MesiState::Invalid;
+        dirty = false;
+        clearTxnMeta();
+    }
+};
+
+/**
+ * Aggregate an 8-bit L1 word-granularity log map into the 2-bit L2
+ * 32-byte-granularity map: each L2 bit is the conjunction of the four
+ * L1 bits it covers (Section III-B1).
+ */
+constexpr std::uint8_t
+aggregateLogBits(std::uint8_t l1_bits)
+{
+    const std::uint8_t lo = l1_bits & 0x0F;
+    const std::uint8_t hi = (l1_bits >> 4) & 0x0F;
+    return static_cast<std::uint8_t>((lo == 0x0F ? 1 : 0) |
+                                     (hi == 0x0F ? 2 : 0));
+}
+
+/**
+ * Replicate a 2-bit L2 log map back into the 8-bit L1 map when a line
+ * is fetched from L2 into L1 (the reverse of aggregateLogBits()).
+ */
+constexpr std::uint8_t
+replicateLogBits(std::uint8_t l2_bits)
+{
+    return static_cast<std::uint8_t>(((l2_bits & 1) ? 0x0F : 0) |
+                                     ((l2_bits & 2) ? 0xF0 : 0));
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_CACHE_CACHE_LINE_HH

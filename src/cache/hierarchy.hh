@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Three-level inclusive cache hierarchy with SLPMT metadata movement.
+ *
+ * Geometry and latencies follow Table III: L1 32 KB/8-way/4 cycles,
+ * L2 256 KB/4-way/12 cycles, L3 2 MB/16-way/40 cycles; all lines are
+ * 64 bytes. L1 and L2 lines carry SLPMT metadata (persist bit, log
+ * bitmap, transaction ID); L3 carries none.
+ *
+ * Metadata ownership: the metadata for a line lives at the highest
+ * private level currently holding it. Fetching a line from L2 into L1
+ * moves the metadata up (replicating the 2-bit L2 log map into 8 L1
+ * bits); evicting from L1 merges it back down (aggregating the 8 bits
+ * into 2 by conjunction). Lines entering L2 from L3 start with clear
+ * metadata, per Section III-B1.
+ *
+ * The transaction engine observes lines leaving the private caches
+ * through EvictionClient so it can flush their log-buffer records and
+ * persist them when required (Section III-A).
+ */
+
+#ifndef SLPMT_CACHE_HIERARCHY_HH
+#define SLPMT_CACHE_HIERARCHY_HH
+
+#include <functional>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "mem/address_map.hh"
+#include "mem/dram_device.hh"
+#include "mem/pm_device.hh"
+
+namespace slpmt
+{
+
+/** Hierarchy geometry; defaults reproduce Table III. */
+struct HierarchyConfig
+{
+    CacheConfig l1{"L1", 32 * 1024, 8, 4};
+    CacheConfig l2{"L2", 256 * 1024, 4, 12};
+    CacheConfig l3{"L3", 2 * 1024 * 1024, 16, 40};
+};
+
+/**
+ * Observer of lines leaving the private (L1+L2) caches while carrying
+ * transactional metadata. Implemented by the transaction engine.
+ */
+class EvictionClient
+{
+  public:
+    virtual ~EvictionClient() = default;
+
+    /**
+     * A line with transactional metadata is about to overflow from L2
+     * to L3. The client must flush any buffered log records for it and
+     * persist the line if its metadata demands so; afterwards the
+     * metadata is discarded (L3 holds none).
+     *
+     * @return extra cycles the eviction spent.
+     */
+    virtual Cycles evictingPrivateLine(CacheLine &line, Cycles now) = 0;
+
+    /**
+     * An L1 line is merging down into L2 and a 4-word log-bit group is
+     * partially set. The client may speculatively log the clean words
+     * to round the group up (Section III-B1 optimisation).
+     *
+     * @param missing_words word-index bitmap of unlogged words in
+     *        partially-logged groups
+     * @return pair {cycles spent, words actually logged bitmap}
+     */
+    virtual std::pair<Cycles, std::uint8_t>
+    roundUpLogBits(CacheLine &line, std::uint8_t missing_words,
+                   Cycles now) = 0;
+};
+
+/** Result of one hierarchy access. */
+struct AccessResult
+{
+    CacheLine *line;   //!< the L1 line now holding the data
+    Cycles latency;    //!< total access latency including evictions
+};
+
+/** The inclusive three-level hierarchy. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const HierarchyConfig &cfg, const AddressMap &map,
+                   PmDevice &pm, DramDevice &dram, StatsRegistry &stats);
+
+    void setEvictionClient(EvictionClient *client) { evictClient = client; }
+
+    /** Enable the Section III-B1 speculative log-rounding option. */
+    void setSpeculativeRounding(bool on) { speculativeRounding = on; }
+
+    /** Access one cache line, filling it into L1. */
+    AccessResult access(Addr addr, bool is_write, Cycles now);
+
+    /** Byte-granular read that may span lines. */
+    Cycles readBytes(Addr addr, void *out, std::size_t len, Cycles now);
+
+    /** Byte-granular write that may span lines (no metadata updates —
+     *  the transaction engine sets metadata itself). */
+    Cycles writeBytes(Addr addr, const void *src, std::size_t len,
+                      Cycles now);
+
+    /** Find a line in the private caches (L1 preferred), or nullptr. */
+    CacheLine *findPrivate(Addr addr);
+
+    /**
+     * Apply @p fn to every metadata-bearing private line: all valid L1
+     * lines, plus valid L2 lines with no L1 copy. Exactly one call per
+     * distinct cached line.
+     */
+    void forEachPrivate(const std::function<void(CacheLine &)> &fn);
+
+    /**
+     * Persist a private line to PM and mark every cached copy clean
+     * (the durable image now matches the cache contents).
+     *
+     * @param sync false when issued by background hardware (forced
+     *        lazy flushes): occupies the WPQ without stalling the core
+     */
+    Cycles persistPrivateLine(CacheLine &line, PersistKind kind,
+                              Cycles now, bool sync = true);
+
+    /** Invalidate every cached copy of a line (abort path). */
+    void invalidateLineEverywhere(Addr addr);
+
+    /** Power failure: all cache contents vanish. */
+    void crash();
+
+    /**
+     * Write back and drop every dirty line (used between experiment
+     * phases to reach a quiescent durable state).
+     */
+    Cycles flushAll(Cycles now);
+
+    Cache &l1() { return l1Cache; }
+    Cache &l2() { return l2Cache; }
+    Cache &l3() { return l3Cache; }
+
+  private:
+    /** Ensure the line is resident in L2+L3; returns fill latency. */
+    Cycles ensureInL2(Addr addr, Cycles now);
+
+    /** Move a line from L2 into L1 (metadata moves up). */
+    CacheLine &promoteToL1(CacheLine &l2_line, Cycles now,
+                           Cycles &latency);
+
+    Cycles evictFromL1(CacheLine &victim, Cycles now);
+    Cycles evictFromL2(CacheLine &victim, Cycles now);
+    Cycles evictFromL3(CacheLine &victim, Cycles now);
+
+    /** Write a line's data into the backing device (dirty writeback). */
+    Cycles writebackToDevice(const CacheLine &line, Cycles now);
+
+    const AddressMap &addrMap;
+    PmDevice &pm;
+    DramDevice &dram;
+    Cache l1Cache;
+    Cache l2Cache;
+    Cache l3Cache;
+    EvictionClient *evictClient = nullptr;
+    bool speculativeRounding = false;
+
+    StatsRegistry::Counter statL1Hits;
+    StatsRegistry::Counter statL1Misses;
+    StatsRegistry::Counter statL2Hits;
+    StatsRegistry::Counter statL2Misses;
+    StatsRegistry::Counter statL3Hits;
+    StatsRegistry::Counter statL3Misses;
+    StatsRegistry::Counter statWritebacks;
+    StatsRegistry::Counter statPrivateEvictions;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_CACHE_HIERARCHY_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic() flags simulator bugs (conditions that must never happen no
+ * matter what the user does) and aborts; fatal() flags user errors
+ * (bad configuration, invalid arguments) and exits cleanly; warn() and
+ * inform() report status without stopping the simulation.
+ */
+
+#ifndef SLPMT_COMMON_LOGGING_HH
+#define SLPMT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace slpmt
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsupported. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Report an internal simulator bug and abort the simulation.
+ * Implemented as an exception so tests can assert on invariants.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+/** Report a user-caused unrecoverable condition. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+/** Report suspicious but survivable behaviour to the console. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status to the console. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless a condition holds. */
+inline void
+panicIfNot(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_COMMON_LOGGING_HH

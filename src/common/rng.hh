@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * experiments. All workload generators and hash functions derive their
+ * randomness from this splitmix64/xoshiro256** pair so a given seed
+ * always produces the same simulation, independent of the platform's
+ * standard-library implementation.
+ */
+
+#ifndef SLPMT_COMMON_RNG_HH
+#define SLPMT_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace slpmt
+{
+
+/** One splitmix64 step; also used as a standalone integer mixer. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless mix of a single value; used for signature hashing. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t s = x;
+    return splitmix64(s);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and deterministic across
+ * platforms; quality is far beyond what workload generation needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free Lemire reduction is overkill here; modulo bias
+        // is negligible for the bounds workloads use (< 2^32).
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state{};
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_COMMON_RNG_HH

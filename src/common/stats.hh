@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A lightweight named-counter registry, loosely modelled after gem5's
+ * statistics package. Components register scalar counters; experiment
+ * harnesses snapshot and diff them to report per-phase deltas.
+ */
+
+#ifndef SLPMT_COMMON_STATS_HH
+#define SLPMT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slpmt
+{
+
+/** A snapshot of every counter value at one instant. */
+using StatsSnapshot = std::map<std::string, std::uint64_t>;
+
+/**
+ * Registry of named monotonically increasing counters.
+ *
+ * Counters are created on first use. The registry is owned by the
+ * top-level system object; components hold a reference and bump
+ * counters by name through cached Counter handles.
+ */
+class StatsRegistry
+{
+  public:
+    /** A cheap handle to one counter; valid as long as the registry. */
+    class Counter
+    {
+      public:
+        Counter() = default;
+
+        void operator+=(std::uint64_t n) { if (value) *value += n; }
+        void operator++(int) { if (value) ++*value; }
+        std::uint64_t get() const { return value ? *value : 0; }
+
+      private:
+        friend class StatsRegistry;
+        explicit Counter(std::uint64_t *v) : value(v) {}
+        std::uint64_t *value = nullptr;
+    };
+
+    /** Get (creating if needed) a handle for a named counter. */
+    Counter
+    counter(const std::string &name)
+    {
+        return Counter(&values[name]);
+    }
+
+    /** Read one counter (0 if it was never created). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = values.find(name);
+        return it == values.end() ? 0 : it->second;
+    }
+
+    /** Snapshot every counter. */
+    StatsSnapshot
+    snapshot() const
+    {
+        return {values.begin(), values.end()};
+    }
+
+    /** Difference of two snapshots (after - before, clamped at 0). */
+    static StatsSnapshot
+    delta(const StatsSnapshot &before, const StatsSnapshot &after)
+    {
+        StatsSnapshot d;
+        for (const auto &[name, val] : after) {
+            auto it = before.find(name);
+            std::uint64_t prev = it == before.end() ? 0 : it->second;
+            d[name] = val >= prev ? val - prev : 0;
+        }
+        return d;
+    }
+
+    /** Reset every counter to zero (registry structure is kept). */
+    void
+    reset()
+    {
+        for (auto &[name, val] : values)
+            val = 0;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> values;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_COMMON_STATS_HH

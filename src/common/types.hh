@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental types and constants shared by every SLPMT module.
+ *
+ * The simulated machine follows the configuration of Table III in the
+ * paper: 64-byte cache lines, 8-byte words, a 2 GHz clock (so 1 ns is
+ * two cycles), and an Intel ADR-style persistence domain whose boundary
+ * is the memory controller's write pending queue (WPQ).
+ */
+
+#ifndef SLPMT_COMMON_TYPES_HH
+#define SLPMT_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slpmt
+{
+
+/** A physical address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A duration or point in time measured in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** A byte count (cache traffic, record sizes, ...). */
+using Bytes = std::uint64_t;
+
+/** Size of a cache line in bytes on all levels of the hierarchy. */
+inline constexpr std::size_t cacheLineSize = 64;
+
+/** Size of a machine word in bytes; the unit of fine-grain logging. */
+inline constexpr std::size_t wordSize = 8;
+
+/** Number of words per cache line (eight 8-byte words in 64 bytes). */
+inline constexpr std::size_t wordsPerLine = cacheLineSize / wordSize;
+
+/** Simulated core clock in MHz (Table III: 2 GHz). */
+inline constexpr std::uint64_t clockMhz = 2000;
+
+/** Convert nanoseconds to cycles at the simulated clock. */
+constexpr Cycles
+nsToCycles(std::uint64_t ns)
+{
+    return ns * clockMhz / 1000;
+}
+
+/** Round an address down to its cache-line base. */
+constexpr Addr
+lineBase(Addr addr)
+{
+    return addr & ~static_cast<Addr>(cacheLineSize - 1);
+}
+
+/** Offset of an address within its cache line. */
+constexpr std::size_t
+lineOffset(Addr addr)
+{
+    return static_cast<std::size_t>(addr & (cacheLineSize - 1));
+}
+
+/** Round an address down to its word base. */
+constexpr Addr
+wordBase(Addr addr)
+{
+    return addr & ~static_cast<Addr>(wordSize - 1);
+}
+
+/** Index of the word an address falls in within its cache line. */
+constexpr std::size_t
+wordIndex(Addr addr)
+{
+    return lineOffset(addr) / wordSize;
+}
+
+/** Round a byte count up to whole cache lines. */
+constexpr Bytes
+roundUpToLines(Bytes bytes)
+{
+    return (bytes + cacheLineSize - 1) / cacheLineSize * cacheLineSize;
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_COMMON_TYPES_HH

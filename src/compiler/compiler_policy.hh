@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The compiler-assisted annotation pass (Section IV-B), modelled as an
+ * inference over registered store-site facts.
+ *
+ * The paper implements this as a clang/LLVM pass using MemorySSA; the
+ * decision procedure, however, consumes only static dataflow facts:
+ *
+ *  - Pattern 1 (log-free): the store targets a region allocated by a
+ *    function called before/within the transaction (malloc), so
+ *    recovery can reclaim the leaked region with a GC, or a region
+ *    the transaction frees, whose updates need no persistence.
+ *  - Pattern 2 (lazy): the stored value and its address are
+ *    recoverable from other persistent data or log records, derived
+ *    by walking def-use chains of flow-out variables.
+ *
+ * Sites whose justification needs semantics beyond such dataflow
+ * analysis (the red-black tree's colour bits, occupancy counters —
+ * flagged requiresDeepSemantics) are refused, which is exactly why
+ * the paper's compiler finds 16 of the 26 manually annotated
+ * variables (Section VI-D4).
+ */
+
+#ifndef SLPMT_COMPILER_COMPILER_POLICY_HH
+#define SLPMT_COMPILER_COMPILER_POLICY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "core/annotation.hh"
+
+namespace slpmt
+{
+
+/** The automatic storeT-insertion pass. */
+class CompilerAnnotationPolicy : public AnnotationPolicy
+{
+  public:
+    StoreFlags
+    flagsFor(const StoreSiteInfo &site) const override
+    {
+        StoreFlags flags;
+        if (site.requiresDeepSemantics)
+            return flags;  // the analysis cannot prove the pattern
+
+        if (site.targetsDeadRegion) {
+            // Updates to a region the transaction frees need neither
+            // logging nor persistence.
+            flags.logFree = true;
+            flags.lazy = true;
+            return flags;
+        }
+        if (site.targetsFreshAlloc) {
+            // Pattern 1: a crash leaks the fresh region; recovery GC
+            // reclaims it, so no undo record is needed.
+            flags.logFree = true;
+        }
+        if (site.rebuildable) {
+            // Pattern 2: recovery can re-derive address and value.
+            flags.lazy = true;
+        }
+        return flags;
+    }
+
+    std::string name() const override { return "compiler"; }
+};
+
+/** Side-by-side accounting of compiler vs manual annotations. */
+struct AnnotationReport
+{
+    std::size_t manualAnnotated = 0;   //!< sites with hand annotations
+    std::size_t compilerFound = 0;     //!< of those, found by the pass
+    std::size_t compilerOnly = 0;      //!< found only by the pass
+    std::size_t missed = 0;            //!< manual sites the pass missed
+};
+
+/** Compare the pass against the hand annotations of a registry. */
+inline AnnotationReport
+compareAnnotations(const StoreSiteRegistry &sites)
+{
+    const CompilerAnnotationPolicy pass;
+    AnnotationReport report;
+    for (const auto &site : sites.all()) {
+        const bool manual = site.manual.lazy || site.manual.logFree;
+        const StoreFlags inferred = pass.flagsFor(site);
+        const bool found = inferred.lazy || inferred.logFree;
+        if (manual) {
+            report.manualAnnotated++;
+            if (found)
+                report.compilerFound++;
+            else
+                report.missed++;
+        } else if (found) {
+            report.compilerOnly++;
+        }
+    }
+    return report;
+}
+
+/** Compile-time cost model of the pass (Figure 13, right). */
+struct CompileTimeEstimate
+{
+    double baselineSec = 0;       //!< plain clang -O2 build
+    double withAnalysisSec = 0;   //!< plus the storeT pass
+
+    double
+    overheadFraction() const
+    {
+        return baselineSec > 0
+                   ? (withAnalysisSec - baselineSec) / baselineSec
+                   : 0;
+    }
+};
+
+/**
+ * Estimate the pass runtime: the MemorySSA walk visits each store
+ * site and follows its def-use chain, plus a per-transaction flow-out
+ * variable analysis.
+ */
+inline CompileTimeEstimate
+estimateCompileTime(const StoreSiteRegistry &sites, double baseline_sec)
+{
+    // Costs calibrated to the paper's observation that the analysis
+    // stays under 0.15 s absolute even at 23% relative overhead (the
+    // MemorySSA walk is per-store-site work, so small TUs like btree
+    // see the largest relative cost).
+    constexpr double per_site_sec = 18e-3;
+    constexpr double per_hop_sec = 4e-3;
+    double analysis = 0;
+    for (const auto &site : sites.all())
+        analysis += per_site_sec + site.defUseDepth * per_hop_sec;
+    return {baseline_sec, baseline_sec + analysis};
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_COMPILER_COMPILER_POLICY_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * First-fit persistent-heap allocator.
+ *
+ * The allocator hands out ranges of the PM heap region. Its metadata
+ * (free list, allocation table) is deliberately volatile: the paper's
+ * recovery model reclaims regions leaked by a crash-interrupted
+ * transaction with a garbage collector / persistent inspector
+ * (Section IV-B, Pattern 1), so after a crash the structure-specific
+ * recovery walks its roots, reports the set of reachable allocations,
+ * and rebuild() reconstitutes the allocator state — leaking nothing.
+ */
+
+#ifndef SLPMT_CORE_HEAP_HH
+#define SLPMT_CORE_HEAP_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace slpmt
+{
+
+/** One live allocation. */
+struct AllocInfo
+{
+    Bytes size = 0;
+    std::uint64_t txnSeq = 0;  //!< transaction that allocated it
+};
+
+/** Volatile-metadata first-fit allocator over the PM heap range. */
+class PersistentHeap
+{
+  public:
+    PersistentHeap(Addr base, Bytes size, StatsRegistry &stats)
+        : heapBase(base),
+          heapSize(size),
+          statAllocs(stats.counter("heap.allocs")),
+          statFrees(stats.counter("heap.frees")),
+          statGcReclaims(stats.counter("heap.gcReclaimedAllocs"))
+    {
+        freeRanges[base] = size;
+    }
+
+    /** Allocate @p size bytes, 8-byte aligned. */
+    Addr
+    alloc(Bytes size, std::uint64_t txn_seq = 0)
+    {
+        const Bytes need = roundUp(size);
+        for (auto it = freeRanges.begin(); it != freeRanges.end(); ++it) {
+            if (it->second < need)
+                continue;
+            const Addr addr = it->first;
+            const Bytes remaining = it->second - need;
+            freeRanges.erase(it);
+            if (remaining > 0)
+                freeRanges[addr + need] = remaining;
+            live[addr] = {need, txn_seq};
+            statAllocs++;
+            return addr;
+        }
+        fatal("persistent heap exhausted");
+    }
+
+    /** Release an allocation. */
+    void
+    free(Addr addr)
+    {
+        auto it = live.find(addr);
+        panicIfNot(it != live.end(), "free of unknown allocation");
+        releaseRange(addr, it->second.size);
+        live.erase(it);
+        statFrees++;
+    }
+
+    /** Is @p addr inside a live allocation? */
+    bool
+    isLive(Addr addr) const
+    {
+        auto it = live.upper_bound(addr);
+        if (it == live.begin())
+            return false;
+        --it;
+        return addr < it->first + it->second.size;
+    }
+
+    /** Base address of the live allocation containing @p addr. */
+    Addr
+    allocationBase(Addr addr) const
+    {
+        auto it = live.upper_bound(addr);
+        panicIfNot(it != live.begin(), "address outside any allocation");
+        --it;
+        panicIfNot(addr < it->first + it->second.size,
+                   "address outside any allocation");
+        return it->first;
+    }
+
+    std::size_t liveCount() const { return live.size(); }
+
+    Bytes
+    liveBytes() const
+    {
+        Bytes total = 0;
+        for (const auto &[addr, info] : live)
+            total += info.size;
+        return total;
+    }
+
+    /** Allocations created by transactions with seq > @p since. */
+    std::vector<Addr>
+    allocationsSince(std::uint64_t since) const
+    {
+        std::vector<Addr> out;
+        for (const auto &[addr, info] : live) {
+            if (info.txnSeq > since)
+                out.push_back(addr);
+        }
+        return out;
+    }
+
+    /**
+     * Post-crash garbage collection: keep exactly the allocations in
+     * @p reachable (by base address), reclaim everything else.
+     *
+     * @return number of leaked allocations reclaimed
+     */
+    std::size_t
+    rebuild(const std::vector<Addr> &reachable)
+    {
+        std::unordered_map<Addr, bool> keep;
+        for (Addr a : reachable)
+            keep[a] = true;
+        std::size_t reclaimed = 0;
+        for (auto it = live.begin(); it != live.end();) {
+            if (keep.count(it->first)) {
+                ++it;
+            } else {
+                releaseRange(it->first, it->second.size);
+                it = live.erase(it);
+                ++reclaimed;
+            }
+        }
+        statGcReclaims += reclaimed;
+        return reclaimed;
+    }
+
+    /** Crash loses nothing here — the *caller* decides what survives.
+     *  The allocation table models durable structure walks, so it is
+     *  retained; tests exercising true metadata loss use reset(). */
+    void
+    reset()
+    {
+        live.clear();
+        freeRanges.clear();
+        freeRanges[heapBase] = heapSize;
+    }
+
+    Addr base() const { return heapBase; }
+    Bytes size() const { return heapSize; }
+
+  private:
+    static Bytes
+    roundUp(Bytes size)
+    {
+        return (size + wordSize - 1) / wordSize * wordSize;
+    }
+
+    void
+    releaseRange(Addr addr, Bytes size)
+    {
+        // Coalesce with neighbours.
+        auto next = freeRanges.lower_bound(addr);
+        if (next != freeRanges.begin()) {
+            auto prev = std::prev(next);
+            if (prev->first + prev->second == addr) {
+                addr = prev->first;
+                size += prev->second;
+                freeRanges.erase(prev);
+            }
+        }
+        next = freeRanges.lower_bound(addr + size);
+        if (next != freeRanges.end() && next->first == addr + size) {
+            size += next->second;
+            freeRanges.erase(next);
+        }
+        freeRanges[addr] = size;
+    }
+
+    Addr heapBase;
+    Bytes heapSize;
+    std::map<Addr, Bytes> freeRanges;   //!< base -> length
+    std::map<Addr, AllocInfo> live;     //!< base -> info
+
+    StatsRegistry::Counter statAllocs;
+    StatsRegistry::Counter statFrees;
+    StatsRegistry::Counter statGcReclaims;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_CORE_HEAP_HH

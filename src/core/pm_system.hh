@@ -1,0 +1,246 @@
+/**
+ * @file
+ * PmSystem: the top-level facade a program (or workload) uses.
+ *
+ * Owns the full simulated machine — PM and DRAM devices, the cache
+ * hierarchy, the transaction engine for the configured scheme, the
+ * persistent heap, and the store-site registry — and exposes the
+ * typed load/store/storeT API, transaction control, crash injection,
+ * and recovery entry points.
+ */
+
+#ifndef SLPMT_CORE_PM_SYSTEM_HH
+#define SLPMT_CORE_PM_SYSTEM_HH
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "core/annotation.hh"
+#include "core/heap.hh"
+#include "mem/address_map.hh"
+#include "mem/dram_device.hh"
+#include "mem/persist_tracker.hh"
+#include "mem/pm_device.hh"
+#include "txn/engine.hh"
+
+namespace slpmt
+{
+
+/** Everything configurable about the simulated machine. */
+struct SystemConfig
+{
+    SchemeConfig scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    LoggingStyle style = LoggingStyle::Undo;
+    AddressMap map;
+    PmConfig pm;
+    DramConfig dram;
+    HierarchyConfig hierarchy;
+};
+
+/** Number of 8-byte durable root slots in the root directory. */
+inline constexpr std::size_t numRootSlots = 64;
+
+/** The simulated machine. */
+class PmSystem
+{
+  public:
+    explicit PmSystem(const SystemConfig &cfg = SystemConfig{})
+        : config(cfg),
+          pmDev(cfg.pm, statsReg, persistTracker),
+          dramDev(cfg.dram, statsReg),
+          hier(cfg.hierarchy, config.map, pmDev, dramDev, statsReg),
+          txnEngine(cfg.scheme, cfg.style, config.map, hier, pmDev,
+                    statsReg),
+          pmHeap(config.map.heapBase() + rootDirBytes,
+                 config.map.heapSize() - rootDirBytes, statsReg)
+    {
+        policy = &manualPolicy;
+    }
+
+    /** @name Component access */
+    /** @{ */
+    TxnEngine &engine() { return txnEngine; }
+    PmDevice &pm() { return pmDev; }
+    DramDevice &dram() { return dramDev; }
+    CacheHierarchy &hierarchy() { return hier; }
+    StatsRegistry &stats() { return statsReg; }
+    PersistTracker &tracker() { return persistTracker; }
+    PersistentHeap &heap() { return pmHeap; }
+    StoreSiteRegistry &sites() { return siteRegistry; }
+    const AddressMap &map() const { return config.map; }
+    const SystemConfig &cfg() const { return config; }
+    /** @} */
+
+    /** @name Annotation policy (manual by default) */
+    /** @{ */
+    void setAnnotationPolicy(const AnnotationPolicy *p)
+    {
+        policy = p ? p : &manualPolicy;
+    }
+    const AnnotationPolicy &annotationPolicy() const { return *policy; }
+    /** @} */
+
+    /** @name Transaction control */
+    /** @{ */
+    void txBegin() { txnEngine.txBegin(); }
+    void txCommit() { txnEngine.txCommit(); }
+    void txAbort() { txnEngine.txAbort(); }
+    bool inTransaction() const { return txnEngine.inTransaction(); }
+    /** @} */
+
+    /** @name Typed data path */
+    /** @{ */
+    template <typename T>
+    T
+    read(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        txnEngine.load(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Ordinary logged, eagerly persistent store. */
+    template <typename T>
+    void
+    write(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        txnEngine.store(addr, &value, sizeof(T));
+    }
+
+    /** storeT with explicit operands. */
+    template <typename T>
+    void
+    writeT(Addr addr, const T &value, StoreFlags flags)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        txnEngine.storeT(addr, &value, sizeof(T), flags);
+    }
+
+    /** Store through a registered site: the active annotation policy
+     *  decides the storeT operands. */
+    template <typename T>
+    void
+    writeSite(Addr addr, const T &value, SiteId site)
+    {
+        writeT(addr, value, policy->flagsFor(siteRegistry.info(site)));
+    }
+
+    void
+    readBytes(Addr addr, void *out, std::size_t len)
+    {
+        txnEngine.load(addr, out, len);
+    }
+
+    void
+    writeBytes(Addr addr, const void *src, std::size_t len)
+    {
+        txnEngine.store(addr, src, len);
+    }
+
+    void
+    writeBytesT(Addr addr, const void *src, std::size_t len,
+                StoreFlags flags)
+    {
+        txnEngine.storeT(addr, src, len, flags);
+    }
+
+    void
+    writeBytesSite(Addr addr, const void *src, std::size_t len,
+                   SiteId site)
+    {
+        txnEngine.storeT(addr, src, len,
+                         policy->flagsFor(siteRegistry.info(site)));
+    }
+    /** @} */
+
+    /** @name Durable roots */
+    /** @{ */
+    Addr
+    rootSlotAddr(std::size_t slot) const
+    {
+        panicIfNot(slot < numRootSlots, "root slot out of range");
+        return config.map.heapBase() + slot * wordSize;
+    }
+
+    Addr readRoot(std::size_t slot) { return read<Addr>(rootSlotAddr(slot)); }
+
+    /** Roots are pivotal: always logged and eagerly persistent. */
+    void writeRoot(std::size_t slot, Addr value)
+    {
+        write<Addr>(rootSlotAddr(slot), value);
+    }
+    /** @} */
+
+    /** @name Crash and recovery */
+    /** @{ */
+    /** Power failure now. */
+    void crash() { txnEngine.crash(); dramDev.crash(); }
+
+    /** Fault injection: crash after @p n more stores (0 disarms). */
+    void armCrashAfterStores(std::uint64_t n)
+    {
+        txnEngine.armCrashAfterStores(n);
+    }
+
+    /** Hardware log replay; returns records applied. */
+    std::size_t recoverHardware() { return txnEngine.recover(); }
+
+    /** Untimed durable-image read (recovery code). */
+    template <typename T>
+    T
+    peek(Addr addr) const
+    {
+        T value;
+        pmDev.peek(addr, &value, sizeof(T));
+        return value;
+    }
+
+    void
+    peekBytes(Addr addr, void *out, std::size_t len) const
+    {
+        pmDev.peek(addr, out, len);
+    }
+    /** @} */
+
+    /** @name Utilities */
+    /** @{ */
+    Cycles cycles() const { return txnEngine.now(); }
+
+    /** Charge pure compute time (workload instruction work). */
+    void compute(Cycles c) { txnEngine.advance(c); }
+
+    /** Write back every dirty line and persist lazy data: reach a
+     *  fully durable quiescent state between experiment phases. */
+    void
+    quiesce()
+    {
+        txnEngine.persistAllLazy();
+        txnEngine.advance(hier.flushAll(txnEngine.now()));
+    }
+    /** @} */
+
+  private:
+    /** Bytes reserved for the durable root directory. */
+    static constexpr Bytes rootDirBytes = 4096;
+
+    SystemConfig config;
+    StatsRegistry statsReg;
+    PersistTracker persistTracker;
+    PmDevice pmDev;
+    DramDevice dramDev;
+    CacheHierarchy hier;
+    TxnEngine txnEngine;
+    PersistentHeap pmHeap;
+    StoreSiteRegistry siteRegistry;
+    ManualAnnotationPolicy manualPolicy;
+    const AnnotationPolicy *policy = nullptr;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_CORE_PM_SYSTEM_HH

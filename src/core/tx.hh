@@ -1,0 +1,62 @@
+/**
+ * @file
+ * RAII durable-transaction handle.
+ *
+ * A DurableTx begins a transaction on construction; the caller must
+ * commit() explicitly. If the handle is destroyed without a commit
+ * (e.g. an exception unwound the scope) the transaction aborts,
+ * replaying the undo log — the software analogue of tx_begin/tx_end
+ * in Figure 1.
+ */
+
+#ifndef SLPMT_CORE_TX_HH
+#define SLPMT_CORE_TX_HH
+
+#include "core/pm_system.hh"
+
+namespace slpmt
+{
+
+/** Scoped durable transaction. */
+class DurableTx
+{
+  public:
+    explicit DurableTx(PmSystem &sys) : sys(sys) { sys.txBegin(); }
+
+    DurableTx(const DurableTx &) = delete;
+    DurableTx &operator=(const DurableTx &) = delete;
+
+    ~DurableTx()
+    {
+        if (!done && sys.inTransaction())
+            sys.txAbort();
+    }
+
+    /** Commit; the handle becomes inert. */
+    void
+    commit()
+    {
+        panicIfNot(!done, "transaction already finished");
+        sys.txCommit();
+        done = true;
+    }
+
+    /** Abort explicitly; the handle becomes inert. */
+    void
+    abort()
+    {
+        panicIfNot(!done, "transaction already finished");
+        sys.txAbort();
+        done = true;
+    }
+
+    bool finished() const { return done; }
+
+  private:
+    PmSystem &sys;
+    bool done = false;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_CORE_TX_HH

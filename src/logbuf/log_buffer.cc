@@ -1,0 +1,147 @@
+#include "logbuf/log_buffer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace slpmt
+{
+
+Cycles
+LogBuffer::insertWord(Addr word_addr, const std::uint8_t *old_word,
+                      std::uint8_t txn_id, std::uint64_t txn_seq,
+                      Cycles now)
+{
+    statInserts++;
+    LogRecord rec;
+    rec.base = wordBase(word_addr);
+    rec.words = 1;
+    rec.txnId = txn_id;
+    rec.txnSeq = txn_seq;
+    std::memcpy(rec.data.data(), old_word, wordSize);
+    return insertLatency + insertAtTier(0, rec, now);
+}
+
+Cycles
+LogBuffer::insertLine(Addr line_addr, const std::uint8_t *old_line,
+                      std::uint8_t txn_id, std::uint64_t txn_seq,
+                      Cycles now)
+{
+    statInserts++;
+    LogRecord rec;
+    rec.base = lineBase(line_addr);
+    rec.words = wordsPerLine;
+    rec.txnId = txn_id;
+    rec.txnSeq = txn_seq;
+    std::memcpy(rec.data.data(), old_line, cacheLineSize);
+    return insertLatency + insertAtTier(tierCount - 1, rec, now);
+}
+
+Cycles
+LogBuffer::insertAtTier(std::size_t t, LogRecord rec, Cycles now)
+{
+    Cycles latency = 0;
+    auto &tier = tiers[t];
+
+    // Try to coalesce with the buddy covering the other half of the
+    // next-larger span (buddy-allocator style), except at the top tier.
+    if (t + 1 < tierCount) {
+        const Addr span = rec.spanBytes();
+        const Addr buddy_base = rec.base ^ span;
+        auto buddy = std::find_if(tier.begin(), tier.end(),
+                                  [&](const LogRecord &r) {
+                                      return r.base == buddy_base;
+                                  });
+        if (buddy != tier.end()) {
+            statCoalesces++;
+            LogRecord merged;
+            merged.base = std::min(rec.base, buddy_base);
+            merged.words = static_cast<std::uint8_t>(rec.words * 2);
+            merged.txnId = rec.txnId;
+            merged.txnSeq = rec.txnSeq;
+            const LogRecord &low = rec.base < buddy_base ? rec : *buddy;
+            const LogRecord &high = rec.base < buddy_base ? *buddy : rec;
+            std::memcpy(merged.data.data(), low.data.data(),
+                        low.spanBytes());
+            std::memcpy(merged.data.data() + low.spanBytes(),
+                        high.data.data(), high.spanBytes());
+            tier.erase(buddy);
+            return latency + insertAtTier(t + 1, merged, now);
+        }
+    }
+
+    // No coalescing opportunity: drain the tier if it is full.
+    if (tier.size() >= tierCapacity) {
+        statTierDrains++;
+        for (const auto &r : tier)
+            latency += persist(r, now + latency);
+        tier.clear();
+    }
+    tier.push_back(rec);
+    return latency;
+}
+
+Cycles
+LogBuffer::persist(const LogRecord &rec, Cycles now)
+{
+    panicIfNot(sink != nullptr, "log buffer has no drain sink");
+    statRecordsPersisted++;
+    return sink->persistRecord(rec, now);
+}
+
+Cycles
+LogBuffer::flushLine(Addr line_addr, Cycles now)
+{
+    Cycles latency = 0;
+    for (auto &tier : tiers) {
+        for (auto it = tier.begin(); it != tier.end();) {
+            if (it->touchesLine(line_addr)) {
+                latency += persist(*it, now + latency);
+                it = tier.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return latency;
+}
+
+Cycles
+LogBuffer::drainAll(Cycles now)
+{
+    Cycles latency = 0;
+    for (auto &tier : tiers) {
+        for (const auto &rec : tier)
+            latency += persist(rec, now + latency);
+        tier.clear();
+    }
+    return latency;
+}
+
+std::size_t
+LogBuffer::discardIf(const std::function<bool(Addr line)> &is_lazy)
+{
+    std::size_t discarded = 0;
+    for (auto &tier : tiers) {
+        for (auto it = tier.begin(); it != tier.end();) {
+            if (is_lazy(it->line())) {
+                ++discarded;
+                it = tier.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    statRecordsDiscarded += discarded;
+    return discarded;
+}
+
+void
+LogBuffer::clear()
+{
+    for (auto &tier : tiers)
+        tier.clear();
+}
+
+} // namespace slpmt

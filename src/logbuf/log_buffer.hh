@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The four-tier coalescing log buffer of Section III-B2.
+ *
+ * Tiers hold records of one word, double words, quadruple words, and a
+ * full cache line. Tier capacities are sized to the least common
+ * multiple of record size and cache-line size — 2, 3, 5, and 9 cache
+ * lines — so each tier retains up to eight records. On insertion a
+ * record is coalesced with its buddy (the record covering the other
+ * half of the next-larger naturally-aligned span) whenever the buddy
+ * is present, and the combined record is promoted to the next tier;
+ * this repeats on every tier except the full-line one. A tier that
+ * fills with no coalescing opportunity is drained to the persistent
+ * log area.
+ */
+
+#ifndef SLPMT_LOGBUF_LOG_BUFFER_HH
+#define SLPMT_LOGBUF_LOG_BUFFER_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "logbuf/log_record.hh"
+
+namespace slpmt
+{
+
+/** Destination for drained records (the persistent undo-log area). */
+class LogDrainSink
+{
+  public:
+    virtual ~LogDrainSink() = default;
+
+    /** Persist one record; returns the cycles spent issuing it. */
+    virtual Cycles persistRecord(const LogRecord &rec, Cycles now) = 0;
+};
+
+/** The on-core tiered log buffer. */
+class LogBuffer
+{
+  public:
+    static constexpr std::size_t tierCount = 4;
+    static constexpr std::size_t tierCapacity = 8;
+
+    /** Cycles charged to insert a record (the buffer is next to L1 and
+     *  operates asynchronously; only the insert is on the path). */
+    static constexpr Cycles insertLatency = 1;
+
+    explicit LogBuffer(StatsRegistry &stats)
+        : statInserts(stats.counter("logbuf.inserts")),
+          statCoalesces(stats.counter("logbuf.coalesces")),
+          statTierDrains(stats.counter("logbuf.tierDrains")),
+          statRecordsPersisted(stats.counter("logbuf.recordsPersisted")),
+          statRecordsDiscarded(stats.counter("logbuf.recordsDiscarded"))
+    {
+    }
+
+    void setSink(LogDrainSink *s) { sink = s; }
+
+    /**
+     * Insert a one-word undo record, coalescing upward as far as
+     * possible. @p old_word points at the 8-byte pre-store value.
+     */
+    Cycles insertWord(Addr word_addr, const std::uint8_t *old_word,
+                      std::uint8_t txn_id, std::uint64_t txn_seq,
+                      Cycles now);
+
+    /**
+     * Insert a full-line record directly into the top tier (used by
+     * line-granularity schemes such as ATOM and SLPMT-CL).
+     */
+    Cycles insertLine(Addr line_addr, const std::uint8_t *old_line,
+                      std::uint8_t txn_id, std::uint64_t txn_seq,
+                      Cycles now);
+
+    /**
+     * Persist and remove every record touching @p line_addr's cache
+     * line (called when the line overflows the private caches).
+     */
+    Cycles flushLine(Addr line_addr, Cycles now);
+
+    /** Persist and remove everything (transaction commit). */
+    Cycles drainAll(Cycles now);
+
+    /**
+     * Remove (without persisting) every record whose line satisfies
+     * @p is_lazy — the commit-time discard of records belonging to
+     * lazily persistent cache lines.
+     *
+     * @return number of records discarded
+     */
+    std::size_t discardIf(const std::function<bool(Addr line)> &is_lazy);
+
+    /** Drop everything without persisting (abort / crash). */
+    void clear();
+
+    /** Mutable visit of every buffered record (redo-mode refresh). */
+    void
+    forEachRecord(const std::function<void(LogRecord &)> &fn)
+    {
+        for (auto &tier : tiers) {
+            for (auto &rec : tier)
+                fn(rec);
+        }
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &tier : tiers) {
+            if (!tier.empty())
+                return false;
+        }
+        return true;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto &tier : tiers)
+            n += tier.size();
+        return n;
+    }
+
+    /** Direct tier view for tests. */
+    const std::vector<LogRecord> &tier(std::size_t i) const
+    {
+        return tiers.at(i);
+    }
+
+  private:
+    /** Insert into tier @p t, coalescing upward; assumes alignment. */
+    Cycles insertAtTier(std::size_t t, LogRecord rec, Cycles now);
+
+    /** Persist one record through the sink. */
+    Cycles persist(const LogRecord &rec, Cycles now);
+
+    std::array<std::vector<LogRecord>, tierCount> tiers;
+    LogDrainSink *sink = nullptr;
+
+    StatsRegistry::Counter statInserts;
+    StatsRegistry::Counter statCoalesces;
+    StatsRegistry::Counter statTierDrains;
+    StatsRegistry::Counter statRecordsPersisted;
+    StatsRegistry::Counter statRecordsDiscarded;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_LOGBUF_LOG_BUFFER_HH

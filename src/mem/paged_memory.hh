@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sparse byte-addressable backing storage.
+ *
+ * Devices model multi-hundred-megabyte address ranges of which a
+ * workload touches only a fraction; pages are allocated on first touch
+ * so the host-side footprint tracks the simulated working set.
+ */
+
+#ifndef SLPMT_MEM_PAGED_MEMORY_HH
+#define SLPMT_MEM_PAGED_MEMORY_HH
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace slpmt
+{
+
+/** Sparse, page-granular byte store covering a 64-bit address space. */
+class PagedMemory
+{
+  public:
+    static constexpr std::size_t pageSize = 4096;
+
+    /** Read @p len bytes at @p addr into @p out. Untouched bytes are 0. */
+    void
+    read(Addr addr, void *out, std::size_t len) const
+    {
+        auto *dst = static_cast<std::uint8_t *>(out);
+        while (len > 0) {
+            const Addr page = addr / pageSize;
+            const std::size_t off = addr % pageSize;
+            const std::size_t chunk = std::min(len, pageSize - off);
+            auto it = pages.find(page);
+            if (it == pages.end())
+                std::memset(dst, 0, chunk);
+            else
+                std::memcpy(dst, it->second->data() + off, chunk);
+            addr += chunk;
+            dst += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Write @p len bytes from @p src at @p addr. */
+    void
+    write(Addr addr, const void *src, std::size_t len)
+    {
+        auto *from = static_cast<const std::uint8_t *>(src);
+        while (len > 0) {
+            const Addr page = addr / pageSize;
+            const std::size_t off = addr % pageSize;
+            const std::size_t chunk = std::min(len, pageSize - off);
+            auto &slot = pages[page];
+            if (!slot) {
+                slot = std::make_unique<Page>();
+                slot->fill(0);
+            }
+            std::memcpy(slot->data() + off, from, chunk);
+            addr += chunk;
+            from += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Drop every page (simulates losing the medium's contents). */
+    void clear() { pages.clear(); }
+
+    /** Number of pages materialised so far. */
+    std::size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_MEM_PAGED_MEMORY_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Records the order in which data reaches the persistence domain.
+ *
+ * Figure 4 of the paper constrains the order in which log records,
+ * logged cache lines, and log-free cache lines may become durable for
+ * undo and redo logging. The tracker gives tests and the recovery
+ * checker a ground-truth sequence of persist events to validate those
+ * constraints against.
+ */
+
+#ifndef SLPMT_MEM_PERSIST_TRACKER_HH
+#define SLPMT_MEM_PERSIST_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace slpmt
+{
+
+/** What kind of payload a persist event carried. */
+enum class PersistKind : std::uint8_t
+{
+    LogRecord,     //!< an undo/redo log record
+    LoggedLine,    //!< a cache line updated by logged stores
+    LogFreeLine,   //!< a cache line updated only by log-free storeT
+    LazyLine,      //!< a lazily persistent line forced out after commit
+    Writeback,     //!< an ordinary dirty writeback (outside transactions)
+    Marker,        //!< a transaction begin/commit marker in the log area
+};
+
+/** One entry in the persist-order ledger. */
+struct PersistEvent
+{
+    std::uint64_t seq;     //!< global ordering index
+    PersistKind kind;      //!< payload category
+    Addr addr;             //!< line or record address
+    std::uint64_t txnSeq;  //!< global sequence number of the owning txn
+};
+
+/**
+ * Ledger of persist events in durability order.
+ *
+ * Disabled by default (benchmarks run millions of persists); tests
+ * enable it around the window of interest.
+ */
+class PersistTracker
+{
+  public:
+    /** Start recording (clears any previous ledger). */
+    void
+    enable()
+    {
+        events.clear();
+        recording = true;
+    }
+
+    /** Stop recording; the ledger remains readable. */
+    void disable() { recording = false; }
+
+    /** Append an event if recording. */
+    void
+    record(PersistKind kind, Addr addr, std::uint64_t txn_seq)
+    {
+        if (!recording)
+            return;
+        events.push_back({nextSeq++, kind, addr, txn_seq});
+    }
+
+    const std::vector<PersistEvent> &ledger() const { return events; }
+
+    void
+    clear()
+    {
+        events.clear();
+        nextSeq = 0;
+    }
+
+  private:
+    std::vector<PersistEvent> events;
+    std::uint64_t nextSeq = 0;
+    bool recording = false;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_MEM_PERSIST_TRACKER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment runner: scheme x workload x parameters -> metrics.
+ *
+ * Reproduces the paper's measurement methodology: build the simulated
+ * machine for a scheme, set the structure up, then run the ycsb-load
+ * insert phase and report the cycles and PM write traffic of exactly
+ * that phase (setup excluded; lazily persistent data that is still in
+ * the cache at the end is *not* force-flushed — leaving it volatile
+ * is the point of lazy persistency). Afterwards the runner verifies
+ * every inserted pair and the structure invariants, outside the
+ * measured window.
+ */
+
+#ifndef SLPMT_SIM_EXPERIMENT_HH
+#define SLPMT_SIM_EXPERIMENT_HH
+
+#include <string>
+
+#include "compiler/compiler_policy.hh"
+#include "core/pm_system.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+
+/** Which annotation source drives storeT emission. */
+enum class AnnotationMode : std::uint8_t
+{
+    None,      //!< plain stores only
+    Manual,    //!< programmer annotations (default, Section VI-A)
+    Compiler,  //!< the automatic pass (Figure 13)
+};
+
+/** All knobs of one experiment run. */
+struct ExperimentConfig
+{
+    SchemeKind scheme = SchemeKind::SLPMT;
+    LoggingStyle style = LoggingStyle::Undo;
+    AnnotationMode annotations = AnnotationMode::Manual;
+    YcsbConfig ycsb;
+    std::uint64_t pmWriteLatencyNs = 500;  //!< Figure 12 sweep knob
+    bool speculativeRounding = false;      //!< Section III-B1 ablation
+    std::uint8_t numTxnIds = 4;            //!< lazy-depth ablation
+};
+
+/** Metrics of the measured insert phase plus verification outcome. */
+struct ExperimentResult
+{
+    std::string workload;
+    SchemeKind scheme = SchemeKind::SLPMT;
+    Cycles cycles = 0;          //!< insert-phase core cycles
+    Bytes pmWriteBytes = 0;     //!< total PM write traffic
+    Bytes pmDataBytes = 0;      //!< data-line portion
+    Bytes pmLogBytes = 0;       //!< log-record portion
+    std::uint64_t commits = 0;
+    std::uint64_t logRecords = 0;
+    bool verified = false;      //!< lookups + invariants passed
+    std::string failure;        //!< diagnostic when !verified
+
+    double
+    speedupOver(const ExperimentResult &base) const
+    {
+        return cycles ? static_cast<double>(base.cycles) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Write-traffic reduction relative to @p base (paper metric). */
+    double
+    trafficReductionOver(const ExperimentResult &base) const
+    {
+        if (base.pmWriteBytes == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(pmWriteBytes) /
+                         static_cast<double>(base.pmWriteBytes);
+    }
+};
+
+/** Run one experiment to completion. */
+ExperimentResult runExperiment(const std::string &workload_name,
+                               const ExperimentConfig &cfg);
+
+} // namespace slpmt
+
+#endif // SLPMT_SIM_EXPERIMENT_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The SLPMT hardware transaction engine.
+ *
+ * Implements the data path of Sections II and III for every evaluated
+ * scheme: the store/storeT semantics of Table I, fine-grain undo
+ * logging through the tiered log buffer, the commit persist ordering
+ * of Figure 4, lazy persistency with working-set signatures and the
+ * circular transaction-ID allocator, plus the ATOM and EDE baselines
+ * and a redo-logging mode.
+ *
+ * Timing model: the engine owns the core clock. Every memory
+ * instruction advances it by the hierarchy access latency plus any
+ * logging/persist work it triggers; persist operations are charged
+ * their WPQ issue latency, which includes stalls when the 512-byte
+ * queue is full of writes still draining at the media write latency.
+ * Workloads additionally charge pure compute through advance().
+ */
+
+#ifndef SLPMT_TXN_ENGINE_HH
+#define SLPMT_TXN_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <set>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "logbuf/log_buffer.hh"
+#include "txn/scheme.hh"
+#include "txn/signature.hh"
+#include "txn/txn_ids.hh"
+#include "txn/undo_log_area.hh"
+
+namespace slpmt
+{
+
+/** Operands of the storeT instruction (Figure 2). */
+struct StoreFlags
+{
+    bool lazy = false;     //!< defer persisting past commit
+    bool logFree = false;  //!< create no log record
+};
+
+/** Undo (in-place, default) or redo (out-of-place) logging. */
+enum class LoggingStyle : std::uint8_t
+{
+    Undo,
+    Redo,
+};
+
+/** Thrown by the fault-injection hook when the armed crash fires. */
+class CrashInjected : public std::exception
+{
+  public:
+    const char *what() const noexcept override
+    {
+        return "injected power failure";
+    }
+};
+
+/** Fixed instruction overheads of the timing model. */
+struct EngineCosts
+{
+    Cycles txBegin = 20;      //!< allocate ID, set up registers
+    Cycles txCommit = 30;     //!< commit bookkeeping before persists
+    Cycles lazyScan = 8;      //!< coherence scan kicking off a forced
+                              //!< lazy persist
+
+    /**
+     * Round-trip of the commit-path coherence request persisting one
+     * cache line: the core issues the request and the memory
+     * controller acknowledges when the line reaches the persistence
+     * domain (Section III-C2). Forced lazy persists issue the same
+     * requests off the critical path and do not charge this.
+     */
+    Cycles commitPersistAck = nsToCycles(60);
+};
+
+/**
+ * Per-core transaction engine; also the hierarchy's eviction client
+ * and the log buffer's drain sink.
+ */
+class TxnEngine : public EvictionClient, public LogDrainSink
+{
+  public:
+    TxnEngine(const SchemeConfig &scheme, LoggingStyle style,
+              const AddressMap &map, CacheHierarchy &hier, PmDevice &pm,
+              StatsRegistry &stats);
+
+    TxnEngine(const TxnEngine &) = delete;
+    TxnEngine &operator=(const TxnEngine &) = delete;
+
+    /** @name Transaction control */
+    /** @{ */
+    void txBegin();
+    void txCommit();
+
+    /**
+     * Abort the in-flight transaction for concurrency control
+     * (Section V-B): invalidate its cache lines, clear the log buffer
+     * and signature, and replay the undo log onto PM. Log-free data
+     * is left for the caller's user-level recovery.
+     */
+    void txAbort();
+
+    bool inTransaction() const { return inTxn; }
+    std::uint64_t currentTxnSeq() const { return curSeq; }
+    /** @} */
+
+    /** @name Data path (the memory instructions) */
+    /** @{ */
+    /** load: read bytes through the hierarchy. */
+    void load(Addr addr, void *out, std::size_t len);
+
+    /** store: the ordinary logged, eagerly persistent store. */
+    void
+    store(Addr addr, const void *src, std::size_t len)
+    {
+        storeT(addr, src, len, StoreFlags{});
+    }
+
+    /**
+     * storeT: store with selective-logging operands. Outside a
+     * transaction, or when the scheme disables a feature, the
+     * corresponding operand is ignored (the log-free flag of Figure 2
+     * "disables the semantic of storeT").
+     */
+    void storeT(Addr addr, const void *src, std::size_t len,
+                StoreFlags flags);
+    /** @} */
+
+    /** @name Coherence events from other cores (conflict tests) */
+    /** @{ */
+    /** @return true if the event conflicts with the in-flight txn. */
+    bool remoteWrite(Addr addr);
+    bool remoteRead(Addr addr);
+    /** @} */
+
+    /**
+     * Thread context switch (Section V-C): before switching out, the
+     * OS kernel drains the log buffer so a crash while the thread is
+     * descheduled cannot lose undo records whose data lines might
+     * still overflow. The signatures and transaction-ID allocation
+     * state are left untouched — they are not specific to a context.
+     */
+    void
+    contextSwitch()
+    {
+        clock += logBuf.drainAll(clock);
+    }
+
+    /** @name Lazy persistency control */
+    /** @{ */
+    /** Force every outstanding lazily persistent line to PM (the
+     *  "run four empty transactions" effect of Section III-C4). */
+    void persistAllLazy();
+
+    /** Number of committed transactions with volatile lazy data. */
+    std::size_t lazyOutstandingCount() const;
+    /** @} */
+
+    /** @name Crash and recovery */
+    /** @{ */
+    /** Power failure: caches, log buffer, signatures and IDs vanish. */
+    void crash();
+
+    /**
+     * Fault injection for tests: after @p n more store/storeT
+     * instructions the engine crashes the machine and throws
+     * CrashInjected, unwinding the workload mid-transaction.
+     * Pass 0 to disarm.
+     */
+    void armCrashAfterStores(std::uint64_t n) { crashCountdown = n; }
+
+    /**
+     * Post-crash hardware-level recovery: replay the persistent undo
+     * log (or redo log) onto the durable image and truncate it.
+     * Structure-level fix-up of log-free data is the caller's job.
+     *
+     * @return number of log records applied
+     */
+    std::size_t recover();
+    /** @} */
+
+    /** @name Timing */
+    /** @{ */
+    Cycles now() const { return clock; }
+    void advance(Cycles c) { clock += c; }
+    /** @} */
+
+    const SchemeConfig &scheme() const { return schemeCfg; }
+    LoggingStyle style() const { return loggingStyle; }
+    UndoLogArea &logArea() { return undoLog; }
+    LogBuffer &buffer() { return logBuf; }
+
+    /** EvictionClient interface. */
+    Cycles evictingPrivateLine(CacheLine &line, Cycles when) override;
+    std::pair<Cycles, std::uint8_t>
+    roundUpLogBits(CacheLine &line, std::uint8_t missing_words,
+                   Cycles when) override;
+
+    /** LogDrainSink interface. */
+    Cycles persistRecord(const LogRecord &rec, Cycles when) override;
+
+  private:
+    /** The full store data path for one line-contained segment. */
+    Cycles storeSegment(Addr addr, const void *src, std::size_t len,
+                        bool lazy, bool log_free, Cycles when);
+
+    /** Create undo records for the unlogged words a store touches. */
+    Cycles createLogRecords(CacheLine &line, Addr addr, std::size_t len,
+                            Cycles when);
+
+    /** EDE-style immediate record for a contiguous word span. */
+    Cycles appendSpanEager(Addr base, std::size_t words,
+                           const std::uint8_t *data, Cycles when);
+
+    /** Redo-mode record creation (new values, post-memcpy). */
+    Cycles redoLogSpan(CacheLine &line, Addr addr, std::size_t len,
+                       Cycles when);
+
+    /** Store-triggered signature check (Section III-C3). */
+    Cycles checkSignaturesOnWrite(Addr addr, Cycles when);
+
+    /** Access-triggered line-owner check (Section III-C3). */
+    Cycles checkLineOwner(const CacheLine &line, Cycles when);
+
+    /** Persist all lazy lines of live txns up to @p id (oldest first),
+     *  releasing their IDs. */
+    Cycles persistLazyThrough(std::uint8_t id, Cycles when);
+
+    /** Persist the lazy lines of exactly one committed txn. */
+    Cycles persistLazyOf(std::uint8_t id, Cycles when);
+
+    /** Commit paths per logging style. */
+    Cycles commitUndo(Cycles when);
+    Cycles commitRedo(Cycles when);
+
+    SchemeConfig schemeCfg;
+    LoggingStyle loggingStyle;
+    const AddressMap &addrMap;
+    CacheHierarchy &hier;
+    PmDevice &pm;
+
+    LogBuffer logBuf;
+    UndoLogArea undoLog;
+    TxnIdAllocator ids;
+    EngineCosts costs;
+
+    /** Per-ID state (index = core-local transaction ID). */
+    struct IdState
+    {
+        Signature signature;          //!< working set of the txn
+        std::uint64_t txnSeq = 0;
+        bool lazyOutstanding = false; //!< committed w/ volatile lazy data
+    };
+    std::vector<IdState> idState;
+
+    Cycles clock = 0;
+    std::uint64_t crashCountdown = 0;  //!< fault injection (0 = off)
+    bool inTxn = false;
+    std::uint8_t curId = noTxnId;
+    std::uint64_t curSeq = 0;
+    std::uint64_t globalSeq = 0;
+
+    /** Redo mode: lines written by the in-flight txn (volatile). */
+    std::set<Addr> redoWriteSet;
+
+    StatsRegistry::Counter statTxns;
+    StatsRegistry::Counter statCommits;
+    StatsRegistry::Counter statAborts;
+    StatsRegistry::Counter statLoads;
+    StatsRegistry::Counter statStores;
+    StatsRegistry::Counter statStoreTs;
+    StatsRegistry::Counter statLogRecords;
+    StatsRegistry::Counter statLinesPersistedAtCommit;
+    StatsRegistry::Counter statLazyLinesDeferred;
+    StatsRegistry::Counter statLazyForcedPersists;
+    StatsRegistry::Counter statSigHits;
+    StatsRegistry::Counter statIdReclaims;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_TXN_ENGINE_HH

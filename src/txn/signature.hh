@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Working-set signatures for lazy-persistency conflict tracking.
+ *
+ * Section III-C3: every transaction with an assigned ID gets a
+ * signature recording the line addresses of its read- and write-set.
+ * The hardware checks signatures on store-triggered coherence events;
+ * a hit forces the lazy data of the signature's transaction out to
+ * persistent memory. All signatures share the same hash functions.
+ * Section III-D sizes each signature at 2048 bits (256 bytes), four
+ * signatures in total.
+ */
+
+#ifndef SLPMT_TXN_SIGNATURE_HH
+#define SLPMT_TXN_SIGNATURE_HH
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace slpmt
+{
+
+/** A Bloom-filter address-set signature. */
+template <std::size_t NumBits = 2048, std::size_t NumHashes = 4>
+class AddressSignature
+{
+  public:
+    static constexpr std::size_t bits = NumBits;
+    static constexpr std::size_t hashes = NumHashes;
+
+    /** Record a line address in the set. */
+    void
+    insert(Addr addr)
+    {
+        const Addr base = lineBase(addr);
+        for (std::size_t i = 0; i < NumHashes; ++i)
+            filter.set(slot(base, i));
+        count++;
+    }
+
+    /** May-contain test; false negatives are impossible. */
+    bool
+    mightContain(Addr addr) const
+    {
+        const Addr base = lineBase(addr);
+        for (std::size_t i = 0; i < NumHashes; ++i) {
+            if (!filter.test(slot(base, i)))
+                return false;
+        }
+        return true;
+    }
+
+    void
+    clear()
+    {
+        filter.reset();
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    std::uint64_t insertions() const { return count; }
+
+  private:
+    static std::size_t
+    slot(Addr base, std::size_t i)
+    {
+        // All signatures share these hash functions (Section III-C3).
+        static constexpr std::array<std::uint64_t, 8> salts = {
+            0x9e3779b97f4a7c15ULL, 0xc2b2ae3d27d4eb4fULL,
+            0x165667b19e3779f9ULL, 0x27d4eb2f165667c5ULL,
+            0x85ebca6b27d4eb4fULL, 0xc2b2ae35d27d4ebbULL,
+            0x2545f4914f6cdd1dULL, 0x94d049bb133111ebULL,
+        };
+        return static_cast<std::size_t>(
+            mix64(base ^ salts[i % salts.size()]) % NumBits);
+    }
+
+    std::bitset<NumBits> filter;
+    std::uint64_t count = 0;
+};
+
+using Signature = AddressSignature<>;
+
+} // namespace slpmt
+
+#endif // SLPMT_TXN_SIGNATURE_HH

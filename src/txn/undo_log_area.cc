@@ -1,0 +1,107 @@
+#include "txn/undo_log_area.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "mem/persist_tracker.hh"
+
+namespace slpmt
+{
+
+namespace
+{
+
+/** Pack base address + size class + valid flag into the header word. */
+std::uint64_t
+packHeader(Addr base, std::uint8_t words)
+{
+    std::uint8_t log2w = 0;
+    switch (words) {
+      case 1: log2w = 0; break;
+      case 2: log2w = 1; break;
+      case 4: log2w = 2; break;
+      case 8: log2w = 3; break;
+      default: panic("undo record with unsupported word count");
+    }
+    return base | (static_cast<std::uint64_t>(log2w) << 1) | 1ULL;
+}
+
+} // namespace
+
+Cycles
+UndoLogArea::append(const LogRecord &rec, Cycles now,
+                    std::uint64_t txn_seq, Bytes extra_bytes)
+{
+    // The stored layout is fixed so recovery scans stay self-framing;
+    // extra_bytes only inflates the accounted write traffic (and WPQ
+    // occupancy is unchanged at this size).
+    const Bytes entry = entryBytes(rec.words);
+    panicIfNot(tail + entry + wordSize <= areaBase + areaSize,
+               "undo log area overflow");
+    statAppends++;
+
+    // Entry, then a zero terminator so a recovery scan stops here.
+    std::uint8_t buf[cacheLineSize + 2 * wordSize] = {};
+    const std::uint64_t header = packHeader(rec.base, rec.words);
+    std::memcpy(buf, &header, wordSize);
+    std::memcpy(buf + wordSize, rec.data.data(), rec.spanBytes());
+    // Trailing bytes stay zero: the terminator.
+
+    const Cycles cycles =
+        pm.persistBytes(tail, buf, entry + wordSize, now,
+                        PersistKind::LogRecord, txn_seq,
+                        rec.wireBytes() + extra_bytes)
+            .issueCycles;
+    tail += entry;
+    return cycles;
+}
+
+Cycles
+UndoLogArea::truncate(Cycles now, std::uint64_t txn_seq)
+{
+    statTruncates++;
+    tail = areaBase;
+    const std::uint64_t zero = 0;
+    return pm.persistBytes(areaBase, &zero, sizeof(zero), now,
+                           PersistKind::Marker, txn_seq, sizeof(zero))
+        .issueCycles;
+}
+
+std::vector<LogRecord>
+UndoLogArea::scanValid() const
+{
+    std::vector<LogRecord> out;
+    Addr cursor = areaBase;
+    while (cursor + wordSize <= areaBase + areaSize) {
+        std::uint64_t header = 0;
+        pm.peek(cursor, &header, sizeof(header));
+        if ((header & 1ULL) == 0)
+            break;
+        LogRecord rec;
+        rec.words = static_cast<std::uint8_t>(1U << ((header >> 1) & 3));
+        rec.base = header & ~static_cast<std::uint64_t>(7);
+        pm.peek(cursor + wordSize, rec.data.data(), rec.spanBytes());
+        out.push_back(rec);
+        cursor += entryBytes(rec.words);
+    }
+    return out;
+}
+
+std::size_t
+UndoLogArea::applyUndo()
+{
+    const std::vector<LogRecord> records = scanValid();
+    // Reverse order: if a word was logged twice (duplicate logging
+    // after an eviction/refetch, Section III-B1), the oldest record
+    // holds the pre-transaction value and must win.
+    for (auto it = records.rbegin(); it != records.rend(); ++it)
+        pm.poke(it->base, it->data.data(), it->spanBytes());
+    statUndoApplied += records.size();
+
+    const std::uint64_t zero = 0;
+    pm.poke(areaBase, &zero, sizeof(zero));
+    tail = areaBase;
+    return records.size();
+}
+
+} // namespace slpmt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * AVL self-balancing tree (Table II: no parent pointer in the node).
+ *
+ * Annotation design:
+ *  - Fresh node and value initialisation: log-free eager (Pattern 1).
+ *  - Child-pointer updates (rotations, link-in) and the root: normal
+ *    logged stores — they are the durable skeleton.
+ *  - Height updates: lazy + logged. Heights are pure functions of the
+ *    durable child links, so recovery recomputes them bottom-up
+ *    (Pattern 2); like the rbtree colour, the justification needs
+ *    deep semantics, so the compiler pass misses it (the paper's
+ *    "counters of the nodes").
+ *  - The element count: lazy + logged (recount on recovery).
+ */
+
+#ifndef SLPMT_WORKLOADS_AVLTREE_HH
+#define SLPMT_WORKLOADS_AVLTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace slpmt
+{
+
+/** The durable AVL tree. */
+class AvlTreeWorkload : public Workload
+{
+  public:
+    static constexpr std::size_t headerRootSlot = 4;
+
+    std::string name() const override { return "avl"; }
+    void setup(PmSystem &sys) override;
+    void insert(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    bool lookup(PmSystem &sys, std::uint64_t key,
+                std::vector<std::uint8_t> *out) override;
+    bool update(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    std::size_t count(PmSystem &sys) override;
+    void recover(PmSystem &sys) override;
+    bool checkConsistency(PmSystem &sys, std::string *why) override;
+
+  private:
+    struct NodeOff
+    {
+        static constexpr Bytes key = 0;
+        static constexpr Bytes left = 8;
+        static constexpr Bytes right = 16;
+        static constexpr Bytes height = 24;
+        static constexpr Bytes valPtr = 32;
+        static constexpr Bytes valLen = 40;
+        static constexpr Bytes size = 48;
+    };
+
+    struct HdrOff
+    {
+        static constexpr Bytes root = 0;
+        static constexpr Bytes count = 8;
+        static constexpr Bytes size = 16;
+    };
+
+    std::uint64_t heightOf(PmSystem &sys, Addr node);
+    void updateHeight(PmSystem &sys, Addr node);
+    Addr rotateLeft(PmSystem &sys, Addr x);
+    Addr rotateRight(PmSystem &sys, Addr x);
+    Addr rebalance(PmSystem &sys, Addr node);
+
+    /** Recursive insert; returns the (possibly new) subtree root. */
+    Addr insertRec(PmSystem &sys, Addr node, std::uint64_t key,
+                   Addr val_ptr, std::uint64_t val_len);
+
+    /** Recovery: recompute heights bottom-up from durable links. */
+    std::uint64_t recomputeHeights(PmSystem &sys, Addr node,
+                                   std::size_t *n,
+                                   std::vector<Addr> *reachable);
+
+    bool checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
+                   std::uint64_t hi, std::uint64_t *height,
+                   std::size_t *n, std::string *why);
+
+    SiteId siteNodeInit = 0;
+    SiteId siteValueInit = 0;
+    SiteId siteChild = 0;
+    SiteId siteHeight = 0;
+    SiteId siteRoot = 0;
+    SiteId siteCount = 0;
+
+    Addr headerAddr = 0;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_AVLTREE_HH

@@ -1,0 +1,60 @@
+#include "workloads/factory.hh"
+
+#include "common/logging.hh"
+#include "workloads/avltree.hh"
+#include "workloads/hashtable.hh"
+#include "workloads/kv_btree.hh"
+#include "workloads/kv_ctree.hh"
+#include "workloads/kv_rtree.hh"
+#include "workloads/maxheap.hh"
+#include "workloads/rbtree.hh"
+
+namespace slpmt
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "hashtable")
+        return std::make_unique<HashTableWorkload>();
+    if (name == "rbtree")
+        return std::make_unique<RbTreeWorkload>();
+    if (name == "heap")
+        return std::make_unique<MaxHeapWorkload>();
+    if (name == "avl")
+        return std::make_unique<AvlTreeWorkload>();
+    if (name == "kv-btree")
+        return std::make_unique<KvBtreeWorkload>();
+    if (name == "kv-ctree")
+        return std::make_unique<KvCtreeWorkload>();
+    if (name == "kv-rtree")
+        return std::make_unique<KvRtreeWorkload>();
+    fatal("unknown workload: " + name);
+}
+
+const std::vector<std::string> &
+kernelWorkloads()
+{
+    static const std::vector<std::string> names = {"hashtable", "rbtree",
+                                                   "heap", "avl"};
+    return names;
+}
+
+const std::vector<std::string> &
+kvWorkloads()
+{
+    static const std::vector<std::string> names = {"kv-btree", "kv-ctree",
+                                                   "kv-rtree"};
+    return names;
+}
+
+const std::vector<std::string> &
+allWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "hashtable", "rbtree", "heap", "avl",
+        "kv-btree",  "kv-ctree", "kv-rtree"};
+    return names;
+}
+
+} // namespace slpmt

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Workload factory: name -> instance, plus the benchmark groupings of
+ * Section VI (the four STAMP-style kernels and the three PMDK KV
+ * backends).
+ */
+
+#ifndef SLPMT_WORKLOADS_FACTORY_HH
+#define SLPMT_WORKLOADS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace slpmt
+{
+
+/** Create a workload by its paper name (e.g. "hashtable", "kv-btree"). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** The kernel benchmarks of Figure 8. */
+const std::vector<std::string> &kernelWorkloads();
+
+/** The PMKV backends of Figure 14. */
+const std::vector<std::string> &kvWorkloads();
+
+/** Every workload. */
+const std::vector<std::string> &allWorkloads();
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_FACTORY_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * kv-btree: the PMDK map example's B-tree backend.
+ *
+ * A classic B-tree with seven keys per node and preemptive splitting
+ * (full children are split on the way down, so insertion into a leaf
+ * never cascades). Split-off right siblings and new roots are fresh
+ * allocations initialised with log-free storeT; in-node entry shifts
+ * and separator insertions modify live data and stay logged; the
+ * element count is lazy (recounted by recovery).
+ */
+
+#ifndef SLPMT_WORKLOADS_KV_BTREE_HH
+#define SLPMT_WORKLOADS_KV_BTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace slpmt
+{
+
+/** The durable B-tree KV engine. */
+class KvBtreeWorkload : public Workload
+{
+  public:
+    static constexpr std::size_t headerRootSlot = 5;
+
+    /** Max keys per node (order 8: 7 keys, 8 children). */
+    static constexpr std::uint64_t maxKeys = 7;
+
+    std::string name() const override { return "kv-btree"; }
+    void setup(PmSystem &sys) override;
+    void insert(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    bool lookup(PmSystem &sys, std::uint64_t key,
+                std::vector<std::uint8_t> *out) override;
+    bool update(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    std::size_t count(PmSystem &sys) override;
+    void recover(PmSystem &sys) override;
+    bool checkConsistency(PmSystem &sys, std::string *why) override;
+
+  private:
+    static constexpr std::uint64_t tagLeaf = 0;
+    static constexpr std::uint64_t tagInternal = 1;
+
+    /**
+     * Node layout (words): tag, numKeys, keys[7], then
+     * leaf: valPtr[7], valLen[7]; internal: children[8].
+     * A uniform 23-word (184-byte) allocation covers both.
+     */
+    struct NodeOff
+    {
+        static constexpr Bytes tag = 0;
+        static constexpr Bytes numKeys = 8;
+        static constexpr Bytes keys = 16;                  // 7 words
+        static constexpr Bytes children = keys + 7 * 8;    // 8 words
+        static constexpr Bytes valPtrs = keys + 7 * 8;     // 7 words
+        static constexpr Bytes valLens = valPtrs + 7 * 8;  // 7 words
+        static constexpr Bytes size = valLens + 7 * 8;
+    };
+
+    struct HdrOff
+    {
+        static constexpr Bytes root = 0;
+        static constexpr Bytes count = 8;
+        static constexpr Bytes size = 16;
+    };
+
+    Addr keyAddr(Addr n, std::uint64_t i) { return n + NodeOff::keys + i * 8; }
+    Addr childAddr(Addr n, std::uint64_t i)
+    {
+        return n + NodeOff::children + i * 8;
+    }
+    Addr valPtrAddr(Addr n, std::uint64_t i)
+    {
+        return n + NodeOff::valPtrs + i * 8;
+    }
+    Addr valLenAddr(Addr n, std::uint64_t i)
+    {
+        return n + NodeOff::valLens + i * 8;
+    }
+
+    Addr allocNode(PmSystem &sys, std::uint64_t tag);
+
+    /** Split full child @p child (index @p idx) of @p parent. */
+    void splitChild(PmSystem &sys, Addr parent, std::uint64_t idx,
+                    Addr child);
+
+    /** Insert into a guaranteed-non-full subtree rooted at @p node. */
+    void insertNonFull(PmSystem &sys, Addr node, std::uint64_t key,
+                       Addr val_ptr, std::uint64_t val_len);
+
+    bool checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t depth,
+                   std::size_t *leaf_depth, std::size_t *n,
+                   std::string *why);
+
+    void collectReachable(PmSystem &sys, Addr node,
+                          std::vector<Addr> *out, std::size_t *n);
+
+    SiteId siteFreshNode = 0;
+    SiteId siteValueInit = 0;
+    SiteId siteEntry = 0;    //!< shifts/inserts into live nodes
+    SiteId siteMeta = 0;     //!< numKeys and root updates
+    SiteId siteCount = 0;
+
+    Addr headerAddr = 0;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_KV_BTREE_HH

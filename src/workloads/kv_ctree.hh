@@ -1,0 +1,99 @@
+/**
+ * @file
+ * kv-ctree: the PMDK map example's crit-bit tree backend.
+ *
+ * Internal nodes name the most-significant bit position at which the
+ * keys of their two subtrees diverge; leaves hold the key and value.
+ * An insertion allocates one leaf and (except for the first key) one
+ * internal node — both fresh, hence log-free — and swings exactly one
+ * pointer in an existing node, the only logged store besides the lazy
+ * count. This minimal logged footprint is why the paper sees the
+ * highest SLPMT speedup on kv-ctree.
+ */
+
+#ifndef SLPMT_WORKLOADS_KV_CTREE_HH
+#define SLPMT_WORKLOADS_KV_CTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace slpmt
+{
+
+/** The durable crit-bit tree KV engine. */
+class KvCtreeWorkload : public Workload
+{
+  public:
+    static constexpr std::size_t headerRootSlot = 6;
+
+    std::string name() const override { return "kv-ctree"; }
+    void setup(PmSystem &sys) override;
+    void insert(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    bool lookup(PmSystem &sys, std::uint64_t key,
+                std::vector<std::uint8_t> *out) override;
+    bool update(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    bool remove(PmSystem &sys, std::uint64_t key) override;
+    std::size_t count(PmSystem &sys) override;
+    void recover(PmSystem &sys) override;
+    bool checkConsistency(PmSystem &sys, std::string *why) override;
+
+  private:
+    static constexpr std::uint64_t tagLeaf = 0;
+    static constexpr std::uint64_t tagInternal = 1;
+
+    /** Shared first word: the node tag. */
+    struct NodeOff
+    {
+        static constexpr Bytes tag = 0;
+        // Internal:
+        static constexpr Bytes bitPos = 8;
+        static constexpr Bytes child0 = 16;
+        static constexpr Bytes child1 = 24;
+        // Leaf:
+        static constexpr Bytes key = 8;
+        static constexpr Bytes valPtr = 16;
+        static constexpr Bytes valLen = 24;
+        static constexpr Bytes size = 32;
+    };
+
+    struct HdrOff
+    {
+        static constexpr Bytes root = 0;
+        static constexpr Bytes count = 8;
+        static constexpr Bytes size = 16;
+    };
+
+    /** Bit @p pos of @p key counting from the MSB (pos 0 = bit 63). */
+    static std::uint64_t
+    bitOf(std::uint64_t key, std::uint64_t pos)
+    {
+        return (key >> (63 - pos)) & 1ULL;
+    }
+
+    Addr makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
+                  std::uint64_t val_len);
+
+    /** Walk to the leaf the key would collide with. */
+    Addr findLeaf(PmSystem &sys, std::uint64_t key);
+
+    bool checkNode(PmSystem &sys, Addr node, std::uint64_t prefix,
+                   std::uint64_t prefix_bits, std::size_t *n,
+                   std::string *why);
+
+    void collectReachable(PmSystem &sys, Addr node,
+                          std::vector<Addr> *out, std::size_t *n);
+
+    SiteId siteLeafInit = 0;
+    SiteId siteInternalInit = 0;
+    SiteId siteValueInit = 0;
+    SiteId siteSwing = 0;
+    SiteId siteCount = 0;
+    SiteId siteDeadPoison = 0;  //!< Pattern 1b: dead region
+
+    Addr headerAddr = 0;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_KV_CTREE_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Red-black self-balancing tree (Table II): every node holds a parent
+ * pointer and a colour word.
+ *
+ * Annotation design (Section IV):
+ *  - Fresh node and value-blob initialisation: log-free eager storeT
+ *    (Pattern 1 — a crash leaks the node; GC reclaims it).
+ *  - Child-pointer updates on existing nodes (BST links, rotations)
+ *    and the root pointer: normal logged stores — they define the
+ *    durable structure.
+ *  - Parent-pointer updates on existing nodes: lazy + logged. The
+ *    parent of a node is recomputable from the durable child links
+ *    (Pattern 2) — the compiler pass finds exactly this one, as the
+ *    paper reports.
+ *  - Colour updates and the element count: lazy + logged, but their
+ *    justification (the tree can be repainted / recounted after a
+ *    crash) needs deep semantics, so the compiler pass misses them.
+ *
+ * Recovery rebuilds the tree from its durable skeleton: an in-order
+ * walk over keys and values (child pointers are eager, hence durable)
+ * followed by a balanced rebuild with canonical colours.
+ */
+
+#ifndef SLPMT_WORKLOADS_RBTREE_HH
+#define SLPMT_WORKLOADS_RBTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace slpmt
+{
+
+/** The durable red-black tree. */
+class RbTreeWorkload : public Workload
+{
+  public:
+    static constexpr std::size_t headerRootSlot = 2;
+
+    std::string name() const override { return "rbtree"; }
+    void setup(PmSystem &sys) override;
+    void insert(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    bool lookup(PmSystem &sys, std::uint64_t key,
+                std::vector<std::uint8_t> *out) override;
+    bool update(PmSystem &sys, std::uint64_t key,
+                const std::vector<std::uint8_t> &value) override;
+    std::size_t count(PmSystem &sys) override;
+    void recover(PmSystem &sys) override;
+    bool checkConsistency(PmSystem &sys, std::string *why) override;
+
+  private:
+    static constexpr std::uint64_t black = 0;
+    static constexpr std::uint64_t red = 1;
+
+    struct NodeOff
+    {
+        static constexpr Bytes key = 0;
+        static constexpr Bytes left = 8;
+        static constexpr Bytes right = 16;
+        static constexpr Bytes parent = 24;
+        static constexpr Bytes color = 32;
+        static constexpr Bytes valPtr = 40;
+        static constexpr Bytes valLen = 48;
+        static constexpr Bytes size = 56;
+    };
+
+    struct HdrOff
+    {
+        static constexpr Bytes root = 0;
+        static constexpr Bytes count = 8;
+        static constexpr Bytes size = 16;
+    };
+
+    Addr allocNode(PmSystem &sys, std::uint64_t key, Addr parent,
+                   Addr val_ptr, std::uint64_t val_len);
+
+    void rotateLeft(PmSystem &sys, Addr x);
+    void rotateRight(PmSystem &sys, Addr x);
+    void fixupInsert(PmSystem &sys, Addr z);
+
+    /** Write a child link, routing through the right site. */
+    void setChild(PmSystem &sys, Addr node, bool right_side, Addr child);
+    void setParent(PmSystem &sys, Addr node, Addr parent);
+    void setColor(PmSystem &sys, Addr node, std::uint64_t color);
+    void setRoot(PmSystem &sys, Addr root);
+
+    Addr getRoot(PmSystem &sys) { return sys.read<Addr>(headerAddr); }
+
+    /** In-order durable walk (recovery). */
+    struct Item
+    {
+        std::uint64_t key;
+        std::vector<std::uint8_t> value;
+    };
+    void collectDurable(PmSystem &sys, Addr node,
+                        std::vector<Item> &out) const;
+
+    /** Build a balanced subtree from sorted items [lo, hi). */
+    Addr buildBalanced(PmSystem &sys, const std::vector<Item> &items,
+                       std::size_t lo, std::size_t hi, Addr parent,
+                       std::size_t depth, std::size_t red_depth);
+
+    bool checkNode(PmSystem &sys, Addr node, Addr parent,
+                   std::uint64_t lo, std::uint64_t hi,
+                   std::size_t *black_height, std::size_t *n,
+                   std::string *why);
+
+    SiteId siteNodeInit = 0;
+    SiteId siteValueInit = 0;
+    SiteId siteChild = 0;
+    SiteId siteParent = 0;
+    SiteId siteColor = 0;
+    SiteId siteRoot = 0;
+    SiteId siteCount = 0;
+
+    Addr headerAddr = 0;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_RBTREE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * YCSB-load style workload generator (Section VI-A).
+ *
+ * The paper drives every benchmark with the ycsb-load phase: 1,000
+ * insertion operations, 8-byte keys, and a configurable value size
+ * (256 bytes by default; Figures 10/11 sweep 16..256 bytes). Keys are
+ * distinct and pseudo-random; value bytes are a deterministic
+ * function of the key so checkers can recompute them.
+ */
+
+#ifndef SLPMT_WORKLOADS_YCSB_HH
+#define SLPMT_WORKLOADS_YCSB_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace slpmt
+{
+
+/** One generated operation. */
+struct YcsbOp
+{
+    std::uint64_t key;
+    std::vector<std::uint8_t> value;
+};
+
+/** Parameters of a ycsb-load run. */
+struct YcsbConfig
+{
+    std::size_t numOps = 1000;
+    std::size_t valueBytes = 256;
+    std::uint64_t seed = 42;
+};
+
+/** Deterministic value contents for a key. */
+inline std::vector<std::uint8_t>
+ycsbValueFor(std::uint64_t key, std::size_t value_bytes)
+{
+    std::vector<std::uint8_t> value(value_bytes);
+    std::uint64_t state = key ^ 0xabcdef0123456789ULL;
+    for (std::size_t i = 0; i < value_bytes; ++i)
+        value[i] = static_cast<std::uint8_t>(splitmix64(state));
+    return value;
+}
+
+/** Generate the insert-only load trace. */
+inline std::vector<YcsbOp>
+ycsbLoad(const YcsbConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<YcsbOp> ops;
+    ops.reserve(cfg.numOps);
+    while (ops.size() < cfg.numOps) {
+        // Distinct 8-byte keys, nonzero and below 2^63 so checkers can
+        // use 0 and UINT64_MAX as open sentinel bounds.
+        const std::uint64_t key = (rng.next() >> 1) | 1ULL;
+        if (!seen.insert(key).second)
+            continue;
+        ops.push_back({key, ycsbValueFor(key, cfg.valueBytes)});
+    }
+    return ops;
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_YCSB_HH

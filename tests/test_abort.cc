@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Transaction-abort tests (Section V-B): volatile updates are
+ * invalidated, the undo log replays onto PM, log-free data is left to
+ * user recovery, and the system keeps working after aborts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pm_system.hh"
+#include "core/tx.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+PmSystem
+makeSystem(SchemeKind kind = SchemeKind::SLPMT)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(kind);
+    return PmSystem(cfg);
+}
+
+TEST(Abort, LoggedUpdatesRevert)
+{
+    PmSystem sys = makeSystem();
+    const Addr addr = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0x1111);
+    sys.txCommit();
+    sys.quiesce();
+
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0x2222);
+    sys.txAbort();
+    // Both the durable image and subsequent reads see the old value.
+    EXPECT_EQ(sys.peek<std::uint64_t>(addr), 0x1111u);
+    EXPECT_EQ(sys.read<std::uint64_t>(addr), 0x1111u);
+}
+
+TEST(Abort, RevertsEvenAfterMidTxnEviction)
+{
+    PmSystem sys = makeSystem();
+    const Addr addr = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0xAAAA);
+    sys.txCommit();
+    sys.quiesce();
+
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0xBBBB);
+    sys.engine().advance(sys.hierarchy().flushAll(sys.engine().now()));
+    sys.txAbort();
+    EXPECT_EQ(sys.read<std::uint64_t>(addr), 0xAAAAu);
+}
+
+TEST(Abort, TransactionStateCleared)
+{
+    PmSystem sys = makeSystem();
+    const Addr addr = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 1);
+    sys.txAbort();
+    EXPECT_FALSE(sys.inTransaction());
+    EXPECT_TRUE(sys.engine().buffer().empty());
+    EXPECT_TRUE(sys.engine().logArea().empty());
+    EXPECT_EQ(sys.engine().lazyOutstandingCount(), 0u);
+    // A fresh transaction starts cleanly.
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 2);
+    sys.txCommit();
+    EXPECT_EQ(sys.peek<std::uint64_t>(addr), 2u);
+}
+
+TEST(Abort, MultipleStoresAllRevert)
+{
+    PmSystem sys = makeSystem();
+    const Addr addr = sys.heap().alloc(256);
+    sys.txBegin();
+    for (int i = 0; i < 32; ++i)
+        sys.write<std::uint64_t>(addr + i * 8, 0x100 + i);
+    sys.txCommit();
+    sys.quiesce();
+
+    sys.txBegin();
+    for (int i = 0; i < 32; ++i)
+        sys.write<std::uint64_t>(addr + i * 8, 0x900 + i);
+    sys.txAbort();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(sys.read<std::uint64_t>(addr + i * 8),
+                  static_cast<std::uint64_t>(0x100 + i));
+}
+
+TEST(Abort, RaiiHandleAbortsOnUnwind)
+{
+    PmSystem sys = makeSystem();
+    const Addr addr = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0x1111);
+    sys.txCommit();
+    sys.quiesce();
+
+    try {
+        DurableTx tx(sys);
+        sys.write<std::uint64_t>(addr, 0x2222);
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_FALSE(sys.inTransaction());
+    EXPECT_EQ(sys.read<std::uint64_t>(addr), 0x1111u);
+}
+
+TEST(Abort, LogFreeDataLeftForUserRecovery)
+{
+    // Aborting reverts the logged pivot; the leaked log-free node is
+    // invisible and a GC can reclaim it — the workload-level contract.
+    PmSystem sys = makeSystem();
+    auto workload = makeWorkload("kv-ctree");
+    workload->setup(sys);
+    const auto ops = ycsbLoad({.numOps = 10, .valueBytes = 32,
+                               .seed = 3});
+    for (int i = 0; i < 9; ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+
+    // Manually run an insert-like transaction that aborts.
+    const std::size_t live_before = sys.heap().liveCount();
+    {
+        DurableTx tx(sys);
+        const Addr junk = sys.heap().alloc(32);
+        sys.writeT<std::uint64_t>(junk, 1,
+                                  {.lazy = false, .logFree = true});
+        tx.abort();
+    }
+    // Structure is intact; the stray allocation is the only residue
+    // and recovery's GC path would reclaim it.
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+    EXPECT_EQ(sys.heap().liveCount(), live_before + 1);
+    workload->recover(sys);
+    EXPECT_EQ(sys.heap().liveCount(), live_before);
+}
+
+TEST(Abort, AbortOutsideTransactionPanics)
+{
+    PmSystem sys = makeSystem();
+    EXPECT_THROW(sys.txAbort(), PanicError);
+}
+
+TEST(Abort, RedoModeDiscardsLog)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    cfg.style = LoggingStyle::Redo;
+    PmSystem sys(cfg);
+    const Addr addr = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0x3333);
+    sys.txCommit();
+    sys.quiesce();
+
+    sys.txBegin();
+    sys.write<std::uint64_t>(addr, 0x4444);
+    sys.txAbort();
+    EXPECT_EQ(sys.read<std::uint64_t>(addr), 0x3333u);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

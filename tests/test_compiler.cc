@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests of the compiler annotation pass (Section IV): Pattern-1
+ * (log-free for fresh/dead regions) and Pattern-2 (lazy for
+ * rebuildable values) inference, refusal of deep-semantics sites,
+ * the manual-vs-compiler coverage report over the real workload
+ * registries (the paper's 16-of-26 observation), and the compile-time
+ * model of Figure 13.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler_policy.hh"
+#include "core/pm_system.hh"
+#include "test_util.hh"
+#include "workloads/factory.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+StoreSiteInfo
+site(bool fresh, bool dead, bool rebuildable, bool deep)
+{
+    StoreSiteInfo info;
+    info.name = "test";
+    info.targetsFreshAlloc = fresh;
+    info.targetsDeadRegion = dead;
+    info.rebuildable = rebuildable;
+    info.requiresDeepSemantics = deep;
+    return info;
+}
+
+TEST(CompilerPass, Pattern1FreshAllocationIsLogFree)
+{
+    const CompilerAnnotationPolicy pass;
+    const StoreFlags flags = pass.flagsFor(site(true, false, false, false));
+    EXPECT_TRUE(flags.logFree);
+    EXPECT_FALSE(flags.lazy);
+}
+
+TEST(CompilerPass, Pattern1DeadRegionNeedsNoPersistence)
+{
+    const CompilerAnnotationPolicy pass;
+    const StoreFlags flags = pass.flagsFor(site(false, true, false, false));
+    EXPECT_TRUE(flags.logFree);
+    EXPECT_TRUE(flags.lazy);
+}
+
+TEST(CompilerPass, Pattern2RebuildableIsLazy)
+{
+    const CompilerAnnotationPolicy pass;
+    const StoreFlags flags = pass.flagsFor(site(false, false, true, false));
+    EXPECT_FALSE(flags.logFree);
+    EXPECT_TRUE(flags.lazy);
+}
+
+TEST(CompilerPass, FreshAndRebuildableGetsBoth)
+{
+    const CompilerAnnotationPolicy pass;
+    const StoreFlags flags = pass.flagsFor(site(true, false, true, false));
+    EXPECT_TRUE(flags.logFree);
+    EXPECT_TRUE(flags.lazy);
+}
+
+TEST(CompilerPass, DeepSemanticsRefused)
+{
+    const CompilerAnnotationPolicy pass;
+    for (bool fresh : {false, true}) {
+        for (bool rebuildable : {false, true}) {
+            const StoreFlags flags =
+                pass.flagsFor(site(fresh, false, rebuildable, true));
+            EXPECT_FALSE(flags.logFree);
+            EXPECT_FALSE(flags.lazy);
+        }
+    }
+}
+
+TEST(CompilerPass, PlainSiteUntouched)
+{
+    const CompilerAnnotationPolicy pass;
+    const StoreFlags flags =
+        pass.flagsFor(site(false, false, false, false));
+    EXPECT_FALSE(flags.logFree);
+    EXPECT_FALSE(flags.lazy);
+}
+
+/** The pass never *exceeds* what a site's static facts justify. */
+class CompilerSoundness
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CompilerSoundness, InferredFlagsAreJustified)
+{
+    SystemConfig cfg;
+    PmSystem sys(cfg);
+    auto workload = makeWorkload(GetParam());
+    workload->setup(sys);
+
+    const CompilerAnnotationPolicy pass;
+    for (const auto &info : sys.sites().all()) {
+        const StoreFlags flags = pass.flagsFor(info);
+        if (flags.logFree) {
+            EXPECT_TRUE(info.targetsFreshAlloc || info.targetsDeadRegion)
+                << info.name;
+        }
+        if (flags.lazy) {
+            EXPECT_TRUE(info.rebuildable || info.targetsDeadRegion)
+                << info.name;
+        }
+        if (info.requiresDeepSemantics) {
+            EXPECT_FALSE(flags.logFree || flags.lazy) << info.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, CompilerSoundness,
+                         ::testing::ValuesIn(allWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+TEST(CompilerReport, KernelCoverageMatchesPaperShape)
+{
+    // Across the kernel benchmarks the paper's pass identifies 16 of
+    // 26 manually annotated variables — i.e. a substantial majority
+    // of sites, with the deep-semantics ones (colours, counters)
+    // missed. Verify that shape over our registries.
+    std::size_t manual = 0;
+    std::size_t found = 0;
+    std::size_t missed_deep = 0;
+    for (const auto &name : kernelWorkloads()) {
+        SystemConfig cfg;
+        PmSystem sys(cfg);
+        auto workload = makeWorkload(name);
+        workload->setup(sys);
+        const AnnotationReport report = compareAnnotations(sys.sites());
+        manual += report.manualAnnotated;
+        found += report.compilerFound;
+        // Every miss must be a deep-semantics site.
+        for (const auto &info : sys.sites().all()) {
+            const bool is_manual = info.manual.lazy || info.manual.logFree;
+            const CompilerAnnotationPolicy pass;
+            const StoreFlags inferred = pass.flagsFor(info);
+            if (is_manual && !inferred.lazy && !inferred.logFree) {
+                EXPECT_TRUE(info.requiresDeepSemantics) << info.name;
+                ++missed_deep;
+            }
+        }
+    }
+    EXPECT_GT(manual, 10u);
+    EXPECT_GT(found, manual / 2);   // a majority found
+    EXPECT_LT(found, manual);       // but not all
+    EXPECT_EQ(manual - found, missed_deep);
+}
+
+TEST(CompileTime, OverheadSmallAbsoluteAndModerateRelative)
+{
+    SystemConfig cfg;
+    PmSystem sys(cfg);
+    auto workload = makeWorkload("kv-btree");
+    workload->setup(sys);
+    const CompileTimeEstimate est =
+        estimateCompileTime(sys.sites(), 0.65);
+    // Figure 13 (right): under 0.15 s absolute, tens of percent max.
+    EXPECT_LT(est.withAnalysisSec - est.baselineSec, 0.15);
+    EXPECT_GT(est.overheadFraction(), 0.0);
+    EXPECT_LT(est.overheadFraction(), 0.30);
+}
+
+TEST(CompileTime, ScalesWithSiteCount)
+{
+    StoreSiteRegistry few;
+    StoreSiteRegistry many;
+    for (int i = 0; i < 3; ++i)
+        few.add(site(true, false, false, false));
+    for (int i = 0; i < 30; ++i)
+        many.add(site(true, false, false, false));
+    EXPECT_LT(estimateCompileTime(few, 1.0).withAnalysisSec,
+              estimateCompileTime(many, 1.0).withAnalysisSec);
+}
+
+TEST(Policies, NamesAndBehaviour)
+{
+    const NullAnnotationPolicy none;
+    const ManualAnnotationPolicy manual;
+    const CompilerAnnotationPolicy compiler;
+    EXPECT_EQ(none.name(), "none");
+    EXPECT_EQ(manual.name(), "manual");
+    EXPECT_EQ(compiler.name(), "compiler");
+
+    StoreSiteInfo info = site(true, false, false, false);
+    info.manual = {.lazy = true, .logFree = false};
+    EXPECT_FALSE(none.flagsFor(info).lazy);
+    EXPECT_TRUE(manual.flagsFor(info).lazy);
+    EXPECT_TRUE(compiler.flagsFor(info).logFree);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Crash-recovery property tests over every workload and scheme.
+ *
+ * Three families:
+ *  - Crash *between* transactions after N inserts (possibly with lazy
+ *    data still volatile): recovery must restore a consistent
+ *    structure containing exactly the committed keys.
+ *  - Crash *inside* a transaction after K stores (fault injection):
+ *    the interrupted insert must roll back completely — undo replay
+ *    plus the workload's log-free/lazy recovery — and the heap GC
+ *    must reclaim the leaked allocations.
+ *  - Crash during a structural reorganisation (hashtable resize, heap
+ *    growth, btree splits) — exercised by choosing N/K around those
+ *    events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/experiment.hh"
+#include "test_util.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+SystemConfig
+configFor(SchemeKind kind)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(kind);
+    return cfg;
+}
+
+void
+verifyContents(PmSystem &sys, Workload &workload,
+               const std::vector<YcsbOp> &ops, std::size_t committed)
+{
+    std::string why;
+    ASSERT_TRUE(workload.checkConsistency(sys, &why)) << why;
+    EXPECT_EQ(workload.count(sys), committed);
+    std::vector<std::uint8_t> got;
+    for (std::size_t i = 0; i < committed; ++i) {
+        ASSERT_TRUE(workload.lookup(sys, ops[i].key, &got))
+            << "committed key " << i << " missing";
+        EXPECT_EQ(got, ops[i].value) << "value mismatch for key " << i;
+    }
+    for (std::size_t i = committed; i < ops.size(); ++i) {
+        EXPECT_FALSE(workload.lookup(sys, ops[i].key, nullptr))
+            << "uncommitted key " << i << " present";
+    }
+}
+
+class CrashBetweenTxns
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, SchemeKind, std::size_t>>
+{
+};
+
+TEST_P(CrashBetweenTxns, RecoversCommittedState)
+{
+    const auto &[name, scheme, crash_after] = GetParam();
+    PmSystem sys(configFor(scheme));
+    auto workload = makeWorkload(name);
+    workload->setup(sys);
+
+    YcsbConfig ycsb;
+    ycsb.numOps = 120;
+    ycsb.valueBytes = 48;
+    const auto ops = ycsbLoad(ycsb);
+
+    for (std::size_t i = 0; i < crash_after; ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+
+    sys.crash();
+    sys.recoverHardware();
+    workload->recover(sys);
+    verifyContents(sys, *workload, ops, crash_after);
+
+    // The structure keeps working after recovery.
+    for (std::size_t i = crash_after; i < ops.size(); ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+    verifyContents(sys, *workload, ops, ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrashBetweenTxns,
+    ::testing::Combine(
+        ::testing::ValuesIn(allWorkloads()),
+        ::testing::Values(SchemeKind::FG, SchemeKind::SLPMT),
+        // 49/50 straddle the hashtable's first resize; 64/65 straddle
+        // the heap's first growth.
+        ::testing::Values(std::size_t{0}, std::size_t{1},
+                          std::size_t{49}, std::size_t{50},
+                          std::size_t{64}, std::size_t{65},
+                          std::size_t{120})),
+    [](const auto &info) {
+        return testName(std::get<0>(info.param)) + "_" +
+               testName(std::get<1>(info.param)) + "_n" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+class CrashMidTxn
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, SchemeKind, std::size_t>>
+{
+};
+
+TEST_P(CrashMidTxn, InterruptedInsertRollsBack)
+{
+    const auto &[name, scheme, kill_store] = GetParam();
+    PmSystem sys(configFor(scheme));
+    auto workload = makeWorkload(name);
+    workload->setup(sys);
+
+    YcsbConfig ycsb;
+    ycsb.numOps = 60;
+    ycsb.valueBytes = 48;
+    const auto ops = ycsbLoad(ycsb);
+
+    const std::size_t committed = 40;
+    for (std::size_t i = 0; i < committed; ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+
+    // Crash after kill_store more stores, inside insert #41. Some
+    // workloads finish an insert in fewer stores; the crash then
+    // fires inside the following insert — still a valid mid-txn
+    // crash point, just one transaction later.
+    sys.armCrashAfterStores(kill_store);
+    std::size_t committed_now = committed;
+    bool crashed = false;
+    while (!crashed && committed_now < ops.size()) {
+        try {
+            workload->insert(sys, ops[committed_now].key,
+                             ops[committed_now].value);
+            ++committed_now;
+        } catch (const CrashInjected &) {
+            crashed = true;
+        }
+    }
+    ASSERT_TRUE(crashed) << "armed crash never fired";
+
+    sys.recoverHardware();
+    workload->recover(sys);
+    verifyContents(sys, *workload, ops, committed_now);
+
+    // Leaked allocations were reclaimed: re-running the remaining
+    // inserts succeeds and the structure stays consistent.
+    for (std::size_t i = committed_now; i < ops.size(); ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+    verifyContents(sys, *workload, ops, ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrashMidTxn,
+    ::testing::Combine(
+        ::testing::ValuesIn(allWorkloads()),
+        ::testing::Values(SchemeKind::FG, SchemeKind::SLPMT),
+        ::testing::Values(std::size_t{1}, std::size_t{3},
+                          std::size_t{6}, std::size_t{10})),
+    [](const auto &info) {
+        return testName(std::get<0>(info.param)) + "_" +
+               testName(std::get<1>(info.param)) + "_k" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+/** Crash inside the hashtable's resize transaction specifically. */
+class CrashDuringResize : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CrashDuringResize, ResizeRollsBackOrCompletes)
+{
+    const std::size_t kill_store = GetParam();
+    PmSystem sys(configFor(SchemeKind::SLPMT));
+    auto workload = makeWorkload("hashtable");
+    workload->setup(sys);
+
+    YcsbConfig ycsb;
+    ycsb.numOps = 60;
+    ycsb.valueBytes = 32;
+    const auto ops = ycsbLoad(ycsb);
+
+    // Insert 48: the 49th insert triggers the first resize (16
+    // buckets * load factor 3 = 48).
+    for (std::size_t i = 0; i < 48; ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+
+    sys.armCrashAfterStores(kill_store);
+    bool crashed = false;
+    try {
+        workload->insert(sys, ops[48].key, ops[48].value);
+    } catch (const CrashInjected &) {
+        crashed = true;
+    }
+    sys.armCrashAfterStores(0);
+
+    std::size_t committed = 48;
+    if (!crashed)
+        committed = 49;  // the resize finished before the armed crash
+    else {
+        sys.recoverHardware();
+        workload->recover(sys);
+    }
+    verifyContents(sys, *workload, ops, committed);
+
+    for (std::size_t i = committed; i < ops.size(); ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+    verifyContents(sys, *workload, ops, ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(KillPoints, CrashDuringResize,
+                         ::testing::Values(std::size_t{2},
+                                           std::size_t{10},
+                                           std::size_t{40},
+                                           std::size_t{100},
+                                           std::size_t{200},
+                                           std::size_t{400}));
+
+/** Crash right after a resize commit while the lazily persistent node
+ *  copies are still volatile: the journal-merge recovery must rebuild
+ *  the full table. */
+TEST(CrashAfterResize, LazyCopiesRecoveredFromOldTable)
+{
+    PmSystem sys(configFor(SchemeKind::SLPMT));
+    auto workload = makeWorkload("hashtable");
+    workload->setup(sys);
+
+    YcsbConfig ycsb;
+    ycsb.numOps = 80;
+    ycsb.valueBytes = 32;
+    const auto ops = ycsbLoad(ycsb);
+
+    // 49 inserts: the 49th resized the table; its copies are lazy.
+    for (std::size_t i = 0; i < 49; ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+
+    sys.crash();  // copies that were still cached are gone
+    sys.recoverHardware();
+    workload->recover(sys);
+    verifyContents(sys, *workload, ops, 49);
+
+    for (std::size_t i = 49; i < ops.size(); ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+    verifyContents(sys, *workload, ops, ops.size());
+}
+
+/** Repeated crash/recover cycles accumulate no corruption or leaks. */
+TEST(RepeatedCrashes, StructureSurvivesManyCycles)
+{
+    PmSystem sys(configFor(SchemeKind::SLPMT));
+    auto workload = makeWorkload("rbtree");
+    workload->setup(sys);
+
+    YcsbConfig ycsb;
+    ycsb.numOps = 100;
+    ycsb.valueBytes = 24;
+    const auto ops = ycsbLoad(ycsb);
+
+    std::size_t inserted = 0;
+    Rng rng(99);
+    while (inserted < ops.size()) {
+        const std::size_t burst =
+            std::min<std::size_t>(1 + rng.below(9), ops.size() - inserted);
+        for (std::size_t i = 0; i < burst; ++i) {
+            workload->insert(sys, ops[inserted].key,
+                             ops[inserted].value);
+            ++inserted;
+        }
+        sys.crash();
+        sys.recoverHardware();
+        workload->recover(sys);
+        verifyContents(sys, *workload, ops, inserted);
+    }
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

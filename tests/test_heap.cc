@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the persistent-heap allocator: first-fit behaviour,
+ * free-range coalescing, liveness queries, and the post-crash GC
+ * rebuild that reclaims transactions' leaked allocations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/heap.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+class HeapTest : public ::testing::Test
+{
+  protected:
+    HeapTest() : heap(0x1000, 64 * 1024, stats) {}
+
+    StatsRegistry stats;
+    PersistentHeap heap;
+};
+
+TEST_F(HeapTest, AllocationsAreDisjointAndAligned)
+{
+    std::vector<std::pair<Addr, Bytes>> allocs;
+    for (Bytes size : {8u, 24u, 40u, 100u, 7u, 1u}) {
+        const Addr a = heap.alloc(size);
+        EXPECT_EQ(a % wordSize, 0u);
+        for (const auto &[b, s] : allocs) {
+            const bool disjoint = a + size <= b || b + s <= a;
+            EXPECT_TRUE(disjoint);
+        }
+        allocs.emplace_back(a, size);
+    }
+}
+
+TEST_F(HeapTest, FirstFitReusesFreedHole)
+{
+    const Addr a = heap.alloc(64);
+    heap.alloc(64);  // keep a barrier after the hole
+    heap.free(a);
+    EXPECT_EQ(heap.alloc(64), a);
+}
+
+TEST_F(HeapTest, FreeCoalescesNeighbours)
+{
+    const Addr a = heap.alloc(64);
+    const Addr b = heap.alloc(64);
+    const Addr c = heap.alloc(64);
+    heap.alloc(64);  // barrier
+    heap.free(a);
+    heap.free(c);
+    heap.free(b);  // middle: coalesces with both
+    EXPECT_EQ(heap.alloc(192), a);
+}
+
+TEST_F(HeapTest, IsLiveAndAllocationBase)
+{
+    const Addr a = heap.alloc(40);
+    EXPECT_TRUE(heap.isLive(a));
+    EXPECT_TRUE(heap.isLive(a + 39));
+    EXPECT_FALSE(heap.isLive(a + 40));
+    EXPECT_EQ(heap.allocationBase(a + 10), a);
+}
+
+TEST_F(HeapTest, DoubleFreePanics)
+{
+    const Addr a = heap.alloc(8);
+    heap.free(a);
+    EXPECT_THROW(heap.free(a), PanicError);
+}
+
+TEST_F(HeapTest, ExhaustionIsFatal)
+{
+    heap.alloc(60 * 1024);
+    EXPECT_THROW(heap.alloc(8 * 1024), FatalError);
+}
+
+TEST_F(HeapTest, GcReclaimsUnreachable)
+{
+    const Addr keep1 = heap.alloc(40, 1);
+    const Addr leak1 = heap.alloc(40, 2);
+    const Addr keep2 = heap.alloc(40, 2);
+    const Addr leak2 = heap.alloc(40, 3);
+    (void)leak1;
+    (void)leak2;
+    const std::size_t reclaimed = heap.rebuild({keep1, keep2});
+    EXPECT_EQ(reclaimed, 2u);
+    EXPECT_EQ(heap.liveCount(), 2u);
+    EXPECT_TRUE(heap.isLive(keep1));
+    EXPECT_FALSE(heap.isLive(leak1));
+    // Reclaimed space is allocatable again.
+    heap.alloc(40);
+}
+
+TEST_F(HeapTest, AllocationsSinceFiltersByTxn)
+{
+    heap.alloc(8, 5);
+    const Addr b = heap.alloc(8, 9);
+    const auto since = heap.allocationsSince(5);
+    ASSERT_EQ(since.size(), 1u);
+    EXPECT_EQ(since[0], b);
+}
+
+TEST_F(HeapTest, LiveBytesTracksRoundedSizes)
+{
+    heap.alloc(7);   // rounds to 8
+    heap.alloc(40);
+    EXPECT_EQ(heap.liveBytes(), 48u);
+}
+
+TEST_F(HeapTest, ResetReturnsToBlankSlate)
+{
+    heap.alloc(1024);
+    heap.reset();
+    EXPECT_EQ(heap.liveCount(), 0u);
+    EXPECT_EQ(heap.alloc(1024), 0x1000u);
+}
+
+TEST_F(HeapTest, StressRandomAllocFree)
+{
+    StatsRegistry local;
+    PersistentHeap heap(0x1000, 4 * 1024 * 1024, local);
+    Rng rng(11);
+    std::vector<std::pair<Addr, Bytes>> live;
+    for (int i = 0; i < 5000; ++i) {
+        if (live.empty() || rng.below(100) < 60) {
+            const Bytes size = 8 + rng.below(256);
+            const Addr a = heap.alloc(size);
+            for (const auto &[b, s] : live) {
+                ASSERT_TRUE(a + size <= b || b + s <= a)
+                    << "overlapping allocation";
+            }
+            live.emplace_back(a, size);
+        } else {
+            const std::size_t idx = rng.below(live.size());
+            heap.free(live[idx].first);
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+    }
+    EXPECT_EQ(heap.liveCount(), live.size());
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Remove-operation tests for the workloads with unlink paths
+ * (hashtable, kv-ctree, heap), including the Pattern-1b dead-region
+ * storeT (poisoning freed nodes without logging) and crash
+ * consistency around removals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pm_system.hh"
+#include "test_util.hh"
+#include "workloads/factory.hh"
+#include "workloads/maxheap.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+const std::vector<std::string> removable = {"hashtable", "kv-ctree",
+                                            "heap"};
+
+class RemoveTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workload = makeWorkload(GetParam());
+        workload->setup(sys);
+        ops = ycsbLoad({.numOps = 60, .valueBytes = 32, .seed = 31});
+        for (const auto &op : ops)
+            workload->insert(sys, op.key, op.value);
+    }
+
+    PmSystem sys;
+    std::unique_ptr<Workload> workload;
+    std::vector<YcsbOp> ops;
+};
+
+TEST_P(RemoveTest, RemovesAndKeepsOthers)
+{
+    std::set<std::size_t> gone;
+    for (std::size_t i = 0; i < ops.size(); i += 4) {
+        ASSERT_TRUE(workload->remove(sys, ops[i].key));
+        gone.insert(i);
+    }
+    EXPECT_EQ(workload->count(sys), ops.size() - gone.size());
+    std::vector<std::uint8_t> got;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (gone.count(i)) {
+            EXPECT_FALSE(workload->lookup(sys, ops[i].key, nullptr));
+        } else {
+            ASSERT_TRUE(workload->lookup(sys, ops[i].key, &got));
+            EXPECT_EQ(got, ops[i].value);
+        }
+    }
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+}
+
+TEST_P(RemoveTest, AbsentKeyRefused)
+{
+    EXPECT_FALSE(workload->remove(sys, 0x2 /* even: never inserted */));
+}
+
+TEST_P(RemoveTest, StorageReclaimed)
+{
+    const std::size_t live_before = sys.heap().liveCount();
+    ASSERT_TRUE(workload->remove(sys, ops[0].key));
+    EXPECT_LT(sys.heap().liveCount(), live_before);
+}
+
+TEST_P(RemoveTest, RemoveEverything)
+{
+    for (const auto &op : ops)
+        ASSERT_TRUE(workload->remove(sys, op.key));
+    EXPECT_EQ(workload->count(sys), 0u);
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+    // The structure is still usable.
+    workload->insert(sys, ops[0].key, ops[0].value);
+    EXPECT_EQ(workload->count(sys), 1u);
+}
+
+TEST_P(RemoveTest, CommittedRemovalSurvivesCrash)
+{
+    ASSERT_TRUE(workload->remove(sys, ops[3].key));
+    sys.crash();
+    sys.recoverHardware();
+    workload->recover(sys);
+    EXPECT_FALSE(workload->lookup(sys, ops[3].key, nullptr));
+    EXPECT_EQ(workload->count(sys), ops.size() - 1);
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+}
+
+TEST_P(RemoveTest, InterruptedRemovalRollsBack)
+{
+    sys.quiesce();
+    sys.armCrashAfterStores(1);
+    bool crashed = false;
+    try {
+        workload->remove(sys, ops[9].key);
+    } catch (const CrashInjected &) {
+        crashed = true;
+    }
+    sys.armCrashAfterStores(0);
+    ASSERT_TRUE(crashed);
+    sys.recoverHardware();
+    workload->recover(sys);
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(workload->lookup(sys, ops[9].key, &got));
+    EXPECT_EQ(got, ops[9].value);
+    EXPECT_EQ(workload->count(sys), ops.size());
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Removable, RemoveTest,
+                         ::testing::ValuesIn(removable),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+TEST(Remove, UnsupportedWorkloadsReportFalse)
+{
+    PmSystem sys;
+    auto tree = makeWorkload("rbtree");
+    tree->setup(sys);
+    const auto value = ycsbValueFor(1, 16);
+    tree->insert(sys, 5, value);
+    EXPECT_FALSE(tree->remove(sys, 5));
+    EXPECT_TRUE(tree->lookup(sys, 5, nullptr));
+}
+
+TEST(Remove, HeapRemoveMaxMaintainsOrder)
+{
+    PmSystem sys;
+    MaxHeapWorkload heap;
+    heap.setup(sys);
+    const auto ops = ycsbLoad({.numOps = 100, .valueBytes = 16,
+                               .seed = 32});
+    std::multiset<std::uint64_t> keys;
+    for (const auto &op : ops) {
+        heap.insert(sys, op.key, op.value);
+        keys.insert(op.key);
+    }
+    // Drain by repeatedly removing the maximum.
+    while (!keys.empty()) {
+        std::uint64_t top = 0;
+        ASSERT_TRUE(heap.peekMax(sys, &top));
+        EXPECT_EQ(top, *keys.rbegin());
+        ASSERT_TRUE(heap.remove(sys, top));
+        keys.erase(std::prev(keys.end()));
+        std::string why;
+        ASSERT_TRUE(heap.checkConsistency(sys, &why)) << why;
+    }
+    EXPECT_EQ(heap.count(sys), 0u);
+}
+
+TEST(Remove, DeadRegionPoisonIsLogFree)
+{
+    // The poison store must create no log record and no persist
+    // obligation — the Pattern-1b semantics.
+    PmSystem sys;
+    auto ht = makeWorkload("hashtable");
+    ht->setup(sys);
+    const auto value = ycsbValueFor(9, 32);
+    ht->insert(sys, 9, value);
+    sys.quiesce();
+
+    const auto records_before =
+        sys.stats().get("txn.logRecordsCreated");
+    ASSERT_TRUE(ht->remove(sys, 9));
+    const auto records =
+        sys.stats().get("txn.logRecordsCreated") - records_before;
+    // Unlink/count records only: bucket-head (or prev) + count words;
+    // the poison word adds none.
+    EXPECT_LE(records, 3u);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end smoke: every workload inserts and verifies a small
+ * ycsb-load batch under every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "test_util.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+struct SmokeParam
+{
+    std::string workload;
+    SchemeKind scheme;
+};
+
+class SmokeTest
+    : public ::testing::TestWithParam<std::tuple<std::string, SchemeKind>>
+{
+};
+
+TEST_P(SmokeTest, InsertAndVerify)
+{
+    const auto &[workload, scheme] = GetParam();
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.ycsb.numOps = 120;
+    cfg.ycsb.valueBytes = 64;
+    const ExperimentResult res = runExperiment(workload, cfg);
+    EXPECT_TRUE(res.verified) << res.failure;
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.pmWriteBytes, 0u);
+    EXPECT_EQ(res.commits, 120u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllSchemes, SmokeTest,
+    ::testing::Combine(
+        ::testing::Values("hashtable", "rbtree", "heap", "avl",
+                          "kv-btree", "kv-ctree", "kv-rtree"),
+        ::testing::Values(SchemeKind::FG, SchemeKind::FG_LG,
+                          SchemeKind::FG_LZ, SchemeKind::SLPMT,
+                          SchemeKind::SLPMT_CL, SchemeKind::ATOM,
+                          SchemeKind::EDE)),
+    [](const auto &info) {
+        return testName(std::get<0>(info.param)) + "_" +
+               testName(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * PmSystem facade tests: root directory, typed access, annotation
+ * policy routing, DRAM vs PM address handling, quiesce, and the
+ * stats plumbing the experiment harness depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler_policy.hh"
+#include "core/pm_system.hh"
+#include "core/tx.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+TEST(System, RootSlotsAreDurableAnchors)
+{
+    PmSystem sys;
+    const Addr obj = sys.heap().alloc(64);
+    {
+        DurableTx tx(sys);
+        sys.writeRoot(3, obj);
+        tx.commit();
+    }
+    sys.crash();
+    sys.recoverHardware();
+    EXPECT_EQ(sys.peek<Addr>(sys.rootSlotAddr(3)), obj);
+}
+
+TEST(System, RootSlotOutOfRangePanics)
+{
+    PmSystem sys;
+    EXPECT_THROW(sys.rootSlotAddr(numRootSlots), PanicError);
+}
+
+TEST(System, HeapLivesAboveRootDirectory)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(8);
+    EXPECT_GE(a, sys.rootSlotAddr(numRootSlots - 1) + wordSize);
+    EXPECT_TRUE(sys.map().isPm(a));
+}
+
+TEST(System, TypedReadWriteRoundTrip)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(64);
+    struct Pod
+    {
+        std::uint32_t x;
+        std::uint16_t y;
+        std::uint8_t z[10];
+    };
+    Pod pod{0x12345678, 0xABCD, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+    sys.write(a, pod);
+    const Pod back = sys.read<Pod>(a);
+    EXPECT_EQ(back.x, pod.x);
+    EXPECT_EQ(back.y, pod.y);
+    EXPECT_EQ(std::memcmp(back.z, pod.z, sizeof(pod.z)), 0);
+}
+
+TEST(System, WriteSiteRoutesThroughPolicy)
+{
+    PmSystem sys;
+    const SiteId site = sys.sites().add(
+        {.name = "t", .manual = {.lazy = false, .logFree = true},
+         .targetsFreshAlloc = true});
+    const Addr a = sys.heap().alloc(64);
+
+    // Manual policy (default): the store is log-free.
+    sys.txBegin();
+    sys.writeSite<std::uint64_t>(a, 1, site);
+    EXPECT_EQ(sys.stats().get("txn.logRecordsCreated"), 0u);
+    sys.txCommit();
+
+    // Null policy: the same site logs.
+    static const NullAnnotationPolicy null_policy;
+    sys.setAnnotationPolicy(&null_policy);
+    sys.txBegin();
+    sys.writeSite<std::uint64_t>(a, 2, site);
+    EXPECT_EQ(sys.stats().get("txn.logRecordsCreated"), 1u);
+    sys.txCommit();
+
+    // Compiler policy: infers log-free from the fresh-alloc fact.
+    static const CompilerAnnotationPolicy compiler_policy;
+    sys.setAnnotationPolicy(&compiler_policy);
+    sys.txBegin();
+    sys.writeSite<std::uint64_t>(a + 8, 3, site);
+    EXPECT_EQ(sys.stats().get("txn.logRecordsCreated"), 1u);
+    sys.txCommit();
+}
+
+TEST(System, DramStoresAreNotTransactional)
+{
+    PmSystem sys;
+    const Addr dram_addr = 0x2000;  // DRAM range
+    sys.txBegin();
+    sys.write<std::uint64_t>(dram_addr, 7);
+    EXPECT_EQ(sys.stats().get("txn.logRecordsCreated"), 0u);
+    sys.txCommit();
+    EXPECT_EQ(sys.read<std::uint64_t>(dram_addr), 7u);
+    sys.crash();
+    // DRAM loses its contents.
+    EXPECT_EQ(sys.read<std::uint64_t>(dram_addr), 0u);
+}
+
+TEST(System, UnmappedAccessPanics)
+{
+    PmSystem sys;
+    std::uint64_t v = 0;
+    EXPECT_THROW(sys.readBytes(0xFFFF'FFFF'0000ULL, &v, 8), PanicError);
+}
+
+TEST(System, QuiesceMakesEverythingDurable)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.writeT<std::uint64_t>(a, 0x77, {.lazy = true, .logFree = true});
+    sys.txCommit();
+    EXPECT_EQ(sys.peek<std::uint64_t>(a), 0u);
+    sys.quiesce();
+    EXPECT_EQ(sys.peek<std::uint64_t>(a), 0x77u);
+}
+
+TEST(System, ComputeAdvancesClock)
+{
+    PmSystem sys;
+    const Cycles before = sys.cycles();
+    sys.compute(123);
+    EXPECT_EQ(sys.cycles(), before + 123);
+}
+
+TEST(System, CyclesMonotonicAcrossOperations)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(64);
+    Cycles last = sys.cycles();
+    for (int i = 0; i < 10; ++i) {
+        DurableTx tx(sys);
+        sys.write<std::uint64_t>(a, i);
+        tx.commit();
+        EXPECT_GT(sys.cycles(), last);
+        last = sys.cycles();
+    }
+}
+
+TEST(System, StatsDeltaIsolatesPhases)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(64);
+    DurableTx setup(sys);
+    sys.write<std::uint64_t>(a, 1);
+    setup.commit();
+
+    const auto before = sys.stats().snapshot();
+    DurableTx tx(sys);
+    sys.write<std::uint64_t>(a, 2);
+    tx.commit();
+    const auto delta =
+        StatsRegistry::delta(before, sys.stats().snapshot());
+    EXPECT_EQ(delta.at("txn.committed"), 1u);
+}
+
+TEST(System, ConfigurableSchemePropagates)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::ATOM);
+    PmSystem sys(cfg);
+    EXPECT_EQ(sys.engine().scheme().kind, SchemeKind::ATOM);
+    EXPECT_FALSE(sys.engine().scheme().fineGrainLogging);
+}
+
+TEST(System, WriteLatencyKnobChangesTiming)
+{
+    auto run = [](std::uint64_t lat) {
+        SystemConfig cfg;
+        cfg.pm.writeLatencyNs = lat;
+        PmSystem sys(cfg);
+        const Addr a = sys.heap().alloc(4096);
+        for (int t = 0; t < 20; ++t) {
+            DurableTx tx(sys);
+            for (int i = 0; i < 8; ++i)
+                sys.write<std::uint64_t>(
+                    a + static_cast<Addr>(i) * 512, t);
+            tx.commit();
+        }
+        return sys.cycles();
+    };
+    EXPECT_LT(run(500), run(2300));
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Update-operation tests across every workload: value replacement,
+ * absent-key handling, blob reclamation, and crash consistency — an
+ * update that commits survives, an interrupted one rolls back to the
+ * previous value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pm_system.hh"
+#include "test_util.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+class UpdateTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workload = makeWorkload(GetParam());
+        workload->setup(sys);
+        ops = ycsbLoad({.numOps = 50, .valueBytes = 40, .seed = 21});
+        for (const auto &op : ops)
+            workload->insert(sys, op.key, op.value);
+    }
+
+    PmSystem sys;
+    std::unique_ptr<Workload> workload;
+    std::vector<YcsbOp> ops;
+};
+
+TEST_P(UpdateTest, ReplacesValues)
+{
+    std::map<std::uint64_t, std::vector<std::uint8_t>> expected;
+    for (const auto &op : ops)
+        expected[op.key] = op.value;
+
+    // Update every third key with a new, differently sized value.
+    for (std::size_t i = 0; i < ops.size(); i += 3) {
+        const auto fresh = ycsbValueFor(ops[i].key ^ 0xF00D, 72);
+        ASSERT_TRUE(workload->update(sys, ops[i].key, fresh));
+        expected[ops[i].key] = fresh;
+    }
+
+    std::vector<std::uint8_t> got;
+    for (const auto &[key, value] : expected) {
+        ASSERT_TRUE(workload->lookup(sys, key, &got));
+        EXPECT_EQ(got, value);
+    }
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+    EXPECT_EQ(workload->count(sys), ops.size());
+}
+
+TEST_P(UpdateTest, AbsentKeyRefused)
+{
+    EXPECT_FALSE(workload->update(sys, 0x2 /* even: never inserted */,
+                                  ops[0].value));
+    EXPECT_FALSE(sys.inTransaction());
+}
+
+TEST_P(UpdateTest, OldBlobReclaimed)
+{
+    const std::size_t live_before = sys.heap().liveCount();
+    const auto fresh = ycsbValueFor(1, 40);
+    ASSERT_TRUE(workload->update(sys, ops[0].key, fresh));
+    // One blob allocated, one freed: net zero.
+    EXPECT_EQ(sys.heap().liveCount(), live_before);
+}
+
+TEST_P(UpdateTest, CommittedUpdateSurvivesCrash)
+{
+    const auto fresh = ycsbValueFor(0xBEEF, 64);
+    ASSERT_TRUE(workload->update(sys, ops[5].key, fresh));
+    sys.crash();
+    sys.recoverHardware();
+    workload->recover(sys);
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(workload->lookup(sys, ops[5].key, &got));
+    EXPECT_EQ(got, fresh);
+}
+
+TEST_P(UpdateTest, InterruptedUpdateRollsBack)
+{
+    sys.quiesce();
+    sys.armCrashAfterStores(2);  // inside the update transaction
+    bool crashed = false;
+    try {
+        workload->update(sys, ops[7].key, ycsbValueFor(0xDEAD, 64));
+    } catch (const CrashInjected &) {
+        crashed = true;
+    }
+    sys.armCrashAfterStores(0);
+    ASSERT_TRUE(crashed);
+    sys.recoverHardware();
+    workload->recover(sys);
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(workload->lookup(sys, ops[7].key, &got));
+    EXPECT_EQ(got, ops[7].value) << "old value must survive rollback";
+    std::string why;
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, UpdateTest,
+                         ::testing::ValuesIn(allWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+TEST(ContextSwitch, DrainsLogBuffer)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(a, 1);
+    EXPECT_FALSE(sys.engine().buffer().empty());
+    sys.engine().contextSwitch();
+    EXPECT_TRUE(sys.engine().buffer().empty());
+    EXPECT_FALSE(sys.engine().logArea().empty());
+    sys.txCommit();
+    EXPECT_TRUE(sys.engine().logArea().empty());
+}
+
+TEST(ContextSwitch, TransactionSurvivesSwitch)
+{
+    PmSystem sys;
+    const Addr a = sys.heap().alloc(64);
+    sys.txBegin();
+    sys.write<std::uint64_t>(a, 0x11);
+    sys.engine().contextSwitch();
+    sys.write<std::uint64_t>(a + 8, 0x22);
+    sys.txCommit();
+    EXPECT_EQ(sys.peek<std::uint64_t>(a), 0x11u);
+    EXPECT_EQ(sys.peek<std::uint64_t>(a + 8), 0x22u);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

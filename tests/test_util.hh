@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef SLPMT_TESTS_TEST_UTIL_HH
+#define SLPMT_TESTS_TEST_UTIL_HH
+
+#include <string>
+
+#include "txn/scheme.hh"
+
+namespace slpmt
+{
+
+/** Make a string safe for gtest parameterized test names. */
+inline std::string
+testName(const std::string &raw)
+{
+    std::string out;
+    for (char ch : raw) {
+        if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+            (ch >= '0' && ch <= '9'))
+            out += ch;
+        else
+            out += '_';
+    }
+    return out;
+}
+
+inline std::string
+testName(SchemeKind kind)
+{
+    return testName(schemeName(kind));
+}
+
+} // namespace slpmt
+
+#endif // SLPMT_TESTS_TEST_UTIL_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Per-workload behavioural tests: resize/growth/split mechanics,
+ * ordering queries, duplicate handling, larger-scale runs, and the
+ * redo-logging mode end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/pm_system.hh"
+#include "test_util.hh"
+#include "workloads/factory.hh"
+#include "workloads/hashtable.hh"
+#include "workloads/maxheap.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+TEST(Hashtable, ResizesAtLoadFactor)
+{
+    PmSystem sys;
+    HashTableWorkload ht;
+    ht.setup(sys);
+    const auto ops = ycsbLoad({.numOps = 200, .valueBytes = 16,
+                               .seed = 2});
+    std::size_t i = 0;
+    for (; i < 48; ++i)
+        ht.insert(sys, ops[i].key, ops[i].value);
+    EXPECT_EQ(ht.resizes(), 0u);
+    ht.insert(sys, ops[i].key, ops[i].value);
+    EXPECT_EQ(ht.resizes(), 1u);  // 16 buckets * 3 = 48 exceeded
+    for (++i; i < 97; ++i)
+        ht.insert(sys, ops[i].key, ops[i].value);
+    EXPECT_EQ(ht.resizes(), 2u);  // 32 * 3 = 96 exceeded
+}
+
+TEST(Hashtable, ValuesSurviveResizeUnmoved)
+{
+    // Rehash copies nodes but points at the original value blobs.
+    PmSystem sys;
+    HashTableWorkload ht;
+    ht.setup(sys);
+    const auto ops = ycsbLoad({.numOps = 60, .valueBytes = 64,
+                               .seed = 4});
+    for (const auto &op : ops)
+        ht.insert(sys, op.key, op.value);
+    EXPECT_GE(ht.resizes(), 1u);
+    std::vector<std::uint8_t> got;
+    for (const auto &op : ops) {
+        ASSERT_TRUE(ht.lookup(sys, op.key, &got));
+        EXPECT_EQ(got, op.value);
+    }
+}
+
+TEST(Heap, PeekMaxTracksMaximum)
+{
+    PmSystem sys;
+    MaxHeapWorkload heap;
+    heap.setup(sys);
+    const auto ops = ycsbLoad({.numOps = 150, .valueBytes = 16,
+                               .seed = 5});
+    std::uint64_t expect_max = 0;
+    for (const auto &op : ops) {
+        heap.insert(sys, op.key, op.value);
+        expect_max = std::max(expect_max, op.key);
+        std::uint64_t got = 0;
+        ASSERT_TRUE(heap.peekMax(sys, &got));
+        EXPECT_EQ(got, expect_max);
+    }
+}
+
+TEST(Heap, GrowsPastInitialCapacity)
+{
+    PmSystem sys;
+    MaxHeapWorkload heap;
+    heap.setup(sys);
+    const auto ops = ycsbLoad({.numOps = 200, .valueBytes = 16,
+                               .seed = 6});
+    for (const auto &op : ops)
+        heap.insert(sys, op.key, op.value);
+    EXPECT_EQ(heap.count(sys), 200u);  // initial capacity was 64
+    std::string why;
+    EXPECT_TRUE(heap.checkConsistency(sys, &why)) << why;
+}
+
+TEST(Workloads, SequentialKeysKeepStructuresBalanced)
+{
+    // Monotone keys are the adversarial input for the trees.
+    for (const auto &name : {std::string("rbtree"), std::string("avl"),
+                             std::string("kv-btree")}) {
+        PmSystem sys;
+        auto workload = makeWorkload(name);
+        workload->setup(sys);
+        for (std::uint64_t k = 1; k <= 300; ++k) {
+            const auto value = ycsbValueFor(k, 16);
+            workload->insert(sys, k * 2 + 1, value);
+        }
+        std::string why;
+        EXPECT_TRUE(workload->checkConsistency(sys, &why))
+            << name << ": " << why;
+        EXPECT_EQ(workload->count(sys), 300u) << name;
+    }
+}
+
+TEST(Workloads, LargerRunAllSchemesSpotCheck)
+{
+    // 2,000 inserts on the two structures with reorganisation events.
+    for (const auto &name :
+         {std::string("hashtable"), std::string("kv-rtree")}) {
+        SystemConfig cfg;
+        cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+        PmSystem sys(cfg);
+        auto workload = makeWorkload(name);
+        workload->setup(sys);
+        const auto ops = ycsbLoad({.numOps = 2000, .valueBytes = 16,
+                                   .seed = 8});
+        for (const auto &op : ops)
+            workload->insert(sys, op.key, op.value);
+        std::string why;
+        EXPECT_TRUE(workload->checkConsistency(sys, &why))
+            << name << ": " << why;
+        EXPECT_EQ(workload->count(sys), 2000u) << name;
+    }
+}
+
+class RedoWorkloads
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RedoWorkloads, CrashRecoveryUnderRedoLogging)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    cfg.style = LoggingStyle::Redo;
+    PmSystem sys(cfg);
+    auto workload = makeWorkload(GetParam());
+    workload->setup(sys);
+
+    const auto ops = ycsbLoad({.numOps = 80, .valueBytes = 32,
+                               .seed = 9});
+    for (std::size_t i = 0; i < 55; ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+
+    sys.crash();
+    sys.recoverHardware();
+    workload->recover(sys);
+
+    std::string why;
+    ASSERT_TRUE(workload->checkConsistency(sys, &why)) << why;
+    EXPECT_EQ(workload->count(sys), 55u);
+    std::vector<std::uint8_t> got;
+    for (std::size_t i = 0; i < 55; ++i) {
+        ASSERT_TRUE(workload->lookup(sys, ops[i].key, &got));
+        EXPECT_EQ(got, ops[i].value);
+    }
+    for (std::size_t i = 55; i < ops.size(); ++i)
+        workload->insert(sys, ops[i].key, ops[i].value);
+    EXPECT_TRUE(workload->checkConsistency(sys, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, RedoWorkloads,
+                         ::testing::ValuesIn(allWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+TEST(Workloads, DistinctRootSlotsAcrossWorkloads)
+{
+    // Two workloads can coexist in one system (different root slots).
+    PmSystem sys;
+    auto ht = makeWorkload("hashtable");
+    auto tree = makeWorkload("rbtree");
+    ht->setup(sys);
+    tree->setup(sys);
+    const auto ops = ycsbLoad({.numOps = 40, .valueBytes = 16,
+                               .seed = 10});
+    for (const auto &op : ops) {
+        ht->insert(sys, op.key, op.value);
+        tree->insert(sys, op.key, op.value);
+    }
+    std::string why;
+    EXPECT_TRUE(ht->checkConsistency(sys, &why)) << why;
+    EXPECT_TRUE(tree->checkConsistency(sys, &why)) << why;
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
