@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gc_movement.cpp" "examples/CMakeFiles/gc_movement.dir/gc_movement.cpp.o" "gcc" "examples/CMakeFiles/gc_movement.dir/gc_movement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/slpmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/slpmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/slpmt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/slpmt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/logbuf/CMakeFiles/slpmt_logbuf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_movement.dir/gc_movement.cpp.o"
+  "CMakeFiles/gc_movement.dir/gc_movement.cpp.o.d"
+  "gc_movement"
+  "gc_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simctl.dir/simctl.cpp.o"
+  "CMakeFiles/simctl.dir/simctl.cpp.o.d"
+  "simctl"
+  "simctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

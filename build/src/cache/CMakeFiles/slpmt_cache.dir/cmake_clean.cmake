@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpmt_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/slpmt_cache.dir/hierarchy.cc.o.d"
+  "libslpmt_cache.a"
+  "libslpmt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpmt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

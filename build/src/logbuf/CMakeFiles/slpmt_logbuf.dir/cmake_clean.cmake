@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpmt_logbuf.dir/log_buffer.cc.o"
+  "CMakeFiles/slpmt_logbuf.dir/log_buffer.cc.o.d"
+  "libslpmt_logbuf.a"
+  "libslpmt_logbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpmt_logbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslpmt_logbuf.a"
+)

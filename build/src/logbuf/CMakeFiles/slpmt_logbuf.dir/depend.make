@@ -1,0 +1,2 @@
+# Empty dependencies file for slpmt_logbuf.
+# This may be replaced when dependencies are built.

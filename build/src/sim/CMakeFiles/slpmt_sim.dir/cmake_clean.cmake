@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpmt_sim.dir/experiment.cc.o"
+  "CMakeFiles/slpmt_sim.dir/experiment.cc.o.d"
+  "libslpmt_sim.a"
+  "libslpmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpmt_txn.dir/engine.cc.o"
+  "CMakeFiles/slpmt_txn.dir/engine.cc.o.d"
+  "CMakeFiles/slpmt_txn.dir/undo_log_area.cc.o"
+  "CMakeFiles/slpmt_txn.dir/undo_log_area.cc.o.d"
+  "libslpmt_txn.a"
+  "libslpmt_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpmt_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

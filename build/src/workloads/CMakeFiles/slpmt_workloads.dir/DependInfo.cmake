@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/avltree.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/avltree.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/avltree.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/hashtable.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/hashtable.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/hashtable.cc.o.d"
+  "/root/repo/src/workloads/kv_btree.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/kv_btree.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/kv_btree.cc.o.d"
+  "/root/repo/src/workloads/kv_ctree.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/kv_ctree.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/kv_ctree.cc.o.d"
+  "/root/repo/src/workloads/kv_rtree.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/kv_rtree.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/kv_rtree.cc.o.d"
+  "/root/repo/src/workloads/maxheap.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/maxheap.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/maxheap.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/slpmt_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/slpmt_workloads.dir/rbtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/slpmt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/slpmt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/logbuf/CMakeFiles/slpmt_logbuf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpmt_workloads.dir/avltree.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/avltree.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/factory.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/hashtable.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/hashtable.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/kv_btree.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/kv_btree.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/kv_ctree.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/kv_ctree.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/kv_rtree.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/kv_rtree.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/maxheap.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/maxheap.cc.o.d"
+  "CMakeFiles/slpmt_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/slpmt_workloads.dir/rbtree.cc.o.d"
+  "libslpmt_workloads.a"
+  "libslpmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

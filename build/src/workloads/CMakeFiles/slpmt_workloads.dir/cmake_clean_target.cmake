@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslpmt_workloads.a"
+)

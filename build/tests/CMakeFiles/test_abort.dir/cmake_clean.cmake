@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abort.dir/test_abort.cc.o"
+  "CMakeFiles/test_abort.dir/test_abort.cc.o.d"
+  "test_abort"
+  "test_abort.pdb"
+  "test_abort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkers.dir/test_checkers.cc.o"
+  "CMakeFiles/test_checkers.dir/test_checkers.cc.o.d"
+  "test_checkers"
+  "test_checkers.pdb"
+  "test_checkers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

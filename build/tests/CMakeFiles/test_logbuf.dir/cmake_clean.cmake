@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logbuf.dir/test_logbuf.cc.o"
+  "CMakeFiles/test_logbuf.dir/test_logbuf.cc.o.d"
+  "test_logbuf"
+  "test_logbuf.pdb"
+  "test_logbuf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

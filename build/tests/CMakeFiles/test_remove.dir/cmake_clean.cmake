@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remove.dir/test_remove.cc.o"
+  "CMakeFiles/test_remove.dir/test_remove.cc.o.d"
+  "test_remove"
+  "test_remove.pdb"
+  "test_remove[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txn_semantics.dir/test_txn_semantics.cc.o"
+  "CMakeFiles/test_txn_semantics.dir/test_txn_semantics.cc.o.d"
+  "test_txn_semantics"
+  "test_txn_semantics.pdb"
+  "test_txn_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txn_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_undo_log.dir/test_undo_log.cc.o"
+  "CMakeFiles/test_undo_log.dir/test_undo_log.cc.o.d"
+  "test_undo_log"
+  "test_undo_log.pdb"
+  "test_undo_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_undo_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
