@@ -1,0 +1,322 @@
+/**
+ * @file
+ * crash_sweep: CLI driver for the crash-point explorer.
+ *
+ * Sweeps schemes x workloads over systematically enumerated power-
+ * failure points, validates recovery at every point against the
+ * shadow-map oracle, and emits a JSON report (points explored,
+ * violations with repro tuples, recovery replay counts, wall time and
+ * parallel speedup). Exit status is the number of sweeps that found
+ * violations (0 = clean).
+ *
+ * Typical runs:
+ *   crash_sweep                             # sampled default sweep
+ *   crash_sweep --full --workers=8          # every store, parallel
+ *   crash_sweep --scheme=SLPMT --workload=hashtable --seed=42 \
+ *               --crash-point=117           # reproduce one tuple
+ */
+
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/json.hh"
+#include "validate/crash_explorer.hh"
+#include "workloads/factory.hh"
+
+namespace
+{
+
+using namespace slpmt;
+
+struct CliOptions
+{
+    std::vector<std::string> schemes = {"SLPMT", "FG"};
+    std::vector<std::string> workloads = {"hashtable", "rbtree"};
+    LoggingStyle style = LoggingStyle::Undo;
+    std::size_t numOps = 60;
+    std::size_t valueBytes = 32;
+    std::uint64_t seed = 42;
+    unsigned insertPct = 80;
+    unsigned updatePct = 12;
+    unsigned removePct = 8;
+    std::size_t maxPoints = 200;
+    bool full = false;
+    std::size_t workers = 0;  //!< 0: hardware concurrency
+    bool compareSerial = false;
+    bool tinyCache = false;
+    std::string jsonPath;
+    long long crashPoint = -1;  //!< >= 0: reproduce a single point
+};
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? s.size()
+                                                           : comma;
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+SchemeKind
+parseScheme(const std::string &name)
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::FG,    SchemeKind::FG_LG,    SchemeKind::FG_LZ,
+        SchemeKind::SLPMT, SchemeKind::SLPMT_CL, SchemeKind::ATOM,
+        SchemeKind::EDE,
+    };
+    for (SchemeKind kind : kinds) {
+        if (schemeName(kind) == name)
+            return kind;
+    }
+    std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+    std::exit(2);
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: crash_sweep [options]\n"
+        "  --scheme=A,B       schemes to sweep (default SLPMT,FG)\n"
+        "  --workload=A,B     workloads (default hashtable,rbtree)\n"
+        "  --style=undo|redo  logging style (default undo)\n"
+        "  --ops=N            trace length (default 60)\n"
+        "  --value-bytes=N    value size (default 32)\n"
+        "  --seed=N           trace seed (default 42)\n"
+        "  --mix=I,U,R        insert/update/remove %% (default 80,12,8)\n"
+        "  --max-points=N     sampled point budget (default 200)\n"
+        "  --full             explore every store (overrides budget)\n"
+        "  --workers=N        sweep threads (default: all cores)\n"
+        "  --compare-serial   also run 1-worker and report speedup\n"
+        "  --tiny-cache       shrink caches so dirty lines overflow\n"
+        "                     mid-txn (exercises log replay)\n"
+        "  --json=PATH        write the JSON report to PATH\n"
+        "  --crash-point=K    reproduce one point (single scheme/"
+        "workload); K=0 is the post-completion point\n");
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = val("--scheme")) {
+            opt.schemes = splitList(v);
+        } else if (const char *v = val("--workload")) {
+            opt.workloads = splitList(v);
+        } else if (const char *v = val("--style")) {
+            if (std::string(v) == "redo")
+                opt.style = LoggingStyle::Redo;
+            else if (std::string(v) == "undo")
+                opt.style = LoggingStyle::Undo;
+            else {
+                usage();
+                std::exit(2);
+            }
+        } else if (const char *v = val("--ops")) {
+            opt.numOps = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--value-bytes")) {
+            opt.valueBytes = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--seed")) {
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--mix")) {
+            const auto parts = splitList(v);
+            if (parts.size() != 3) {
+                usage();
+                std::exit(2);
+            }
+            opt.insertPct =
+                static_cast<unsigned>(std::strtoul(parts[0].c_str(),
+                                                   nullptr, 10));
+            opt.updatePct =
+                static_cast<unsigned>(std::strtoul(parts[1].c_str(),
+                                                   nullptr, 10));
+            opt.removePct =
+                static_cast<unsigned>(std::strtoul(parts[2].c_str(),
+                                                   nullptr, 10));
+        } else if (const char *v = val("--max-points")) {
+            opt.maxPoints = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--full") {
+            opt.full = true;
+        } else if (const char *v = val("--workers")) {
+            opt.workers = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--compare-serial") {
+            opt.compareSerial = true;
+        } else if (arg == "--tiny-cache") {
+            opt.tinyCache = true;
+        } else if (const char *v = val("--json")) {
+            opt.jsonPath = v;
+        } else if (const char *v = val("--crash-point")) {
+            opt.crashPoint = std::strtoll(v, nullptr, 10);
+        } else {
+            usage();
+            std::exit(arg == "--help" ? 0 : 2);
+        }
+    }
+    return opt;
+}
+
+CrashSweepConfig
+configFor(const CliOptions &opt, const std::string &scheme,
+          const std::string &workload)
+{
+    CrashSweepConfig cfg;
+    cfg.scheme = parseScheme(scheme);
+    cfg.style = opt.style;
+    cfg.workload = workload;
+    cfg.mix.numOps = opt.numOps;
+    cfg.mix.valueBytes = opt.valueBytes;
+    cfg.mix.seed = opt.seed;
+    cfg.mix.insertPct = opt.insertPct;
+    cfg.mix.updatePct = opt.updatePct;
+    cfg.mix.removePct = opt.removePct;
+    cfg.maxPoints = opt.full ? 0 : opt.maxPoints;
+    cfg.tinyCache = opt.tinyCache;
+    cfg.workers = opt.workers
+                      ? opt.workers
+                      : std::max(1u,
+                                 std::thread::hardware_concurrency());
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parseArgs(argc, argv);
+
+    // Reject bad workload names here rather than deep inside a sweep.
+    for (const auto &w : opt.workloads) {
+        const auto &known = allWorkloads();
+        if (std::find(known.begin(), known.end(), w) == known.end()) {
+            std::fprintf(stderr, "unknown workload: %s\n", w.c_str());
+            return 2;
+        }
+    }
+
+    // Single-point reproduction mode.
+    if (opt.crashPoint >= 0) {
+        if (opt.schemes.size() != 1 || opt.workloads.size() != 1) {
+            std::fprintf(stderr, "--crash-point needs exactly one "
+                                 "scheme and one workload\n");
+            return 2;
+        }
+        const CrashSweepConfig cfg =
+            configFor(opt, opt.schemes[0], opt.workloads[0]);
+        const CrashPointOutcome out = runCrashPoint(
+            cfg, static_cast<std::uint64_t>(opt.crashPoint));
+        std::printf("crash_point=%llu fired=%d committed_ops=%zu "
+                    "replayed_records=%zu violations=%zu\n",
+                    static_cast<unsigned long long>(out.crashPoint),
+                    out.fired ? 1 : 0, out.committedOps,
+                    out.replayedRecords, out.violations.size());
+        for (const auto &v : out.violations)
+            std::printf("VIOLATION %s\n", v.c_str());
+        return out.violations.empty() ? 0 : 1;
+    }
+
+    int failures = 0;
+    double serial_ms = 0.0;
+    double parallel_ms = 0.0;
+    std::vector<std::string> sweep_jsons;
+
+    for (const auto &scheme : opt.schemes) {
+        for (const auto &workload : opt.workloads) {
+            CrashSweepConfig cfg = configFor(opt, scheme, workload);
+            CrashSweepReport report = runCrashSweep(cfg);
+            parallel_ms += report.wallMs;
+
+            if (opt.compareSerial) {
+                CrashSweepConfig serial_cfg = cfg;
+                serial_cfg.workers = 1;
+                CrashSweepReport serial = runCrashSweep(serial_cfg);
+                serial_ms += serial.wallMs;
+                if (serial.violationsText() !=
+                    report.violationsText()) {
+                    std::fprintf(stderr,
+                                 "DETERMINISM BROKEN: serial and "
+                                 "parallel reports differ (%s, %s)\n",
+                                 scheme.c_str(), workload.c_str());
+                    ++failures;
+                }
+            }
+
+            std::printf("%-9s %-9s points=%-5zu stores=%-6llu "
+                        "replays=%-6llu violations=%zu  (%.0f ms, "
+                        "%zu workers)\n",
+                        scheme.c_str(), workload.c_str(),
+                        report.pointsExplored(),
+                        static_cast<unsigned long long>(
+                            report.traceStores),
+                        static_cast<unsigned long long>(
+                            report.replayedRecordsTotal()),
+                        report.violationCount(), report.wallMs,
+                        cfg.workers);
+            if (report.violationCount() > 0) {
+                std::printf("%s", report.violationsText().c_str());
+                ++failures;
+            }
+            sweep_jsons.push_back(report.toJson());
+        }
+    }
+
+    if (opt.compareSerial && serial_ms > 0.0) {
+        std::printf("parallel %.0f ms vs serial %.0f ms -> speedup "
+                    "%.2fx\n",
+                    parallel_ms, serial_ms,
+                    parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    }
+
+    if (!opt.jsonPath.empty()) {
+        std::string doc = "{\"sweeps\":[";
+        for (std::size_t i = 0; i < sweep_jsons.size(); ++i) {
+            if (i)
+                doc += ',';
+            doc += sweep_jsons[i];
+        }
+        doc += "],\"parallel_wall_ms\":";
+        {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.3f", parallel_ms);
+            doc += buf;
+        }
+        if (opt.compareSerial) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          ",\"serial_wall_ms\":%.3f,\"speedup\":%.3f",
+                          serial_ms,
+                          parallel_ms > 0.0 ? serial_ms / parallel_ms
+                                            : 0.0);
+            doc += buf;
+        }
+        doc += '}';
+        std::ofstream out(opt.jsonPath);
+        out << doc << '\n';
+    }
+    return failures;
+}

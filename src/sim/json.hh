@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Minimal JSON emitter for machine-readable reports (the crash-sweep
+ * validation report, stats dumps). Write-only, streaming, with
+ * automatic comma management; no external dependencies.
+ */
+
+#ifndef SLPMT_SIM_JSON_HH
+#define SLPMT_SIM_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace slpmt
+{
+
+/** Streaming JSON writer building an in-memory string. */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        prefix();
+        out += '{';
+        stack.push_back(Frame::Object);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        popFrame(Frame::Object);
+        out += '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        prefix();
+        out += '[';
+        stack.push_back(Frame::Array);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        popFrame(Frame::Array);
+        out += ']';
+        return *this;
+    }
+
+    /** Name the next value inside an object. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        panicIfNot(!stack.empty() && stack.back() == Frame::Object,
+                   "json key outside an object");
+        comma();
+        appendString(name);
+        out += ':';
+        pendingKey = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        prefix();
+        appendString(v);
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    /** Any integer type (size_t and uint64_t alias on some ABIs). */
+    template <typename T,
+              typename std::enable_if<std::is_integral<T>::value &&
+                                          !std::is_same<T, bool>::value,
+                                      int>::type = 0>
+    JsonWriter &
+    value(T v)
+    {
+        prefix();
+        out += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        prefix();
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+        out += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        prefix();
+        out += v ? "true" : "false";
+        return *this;
+    }
+
+    /** The finished document. */
+    const std::string &
+    str() const
+    {
+        panicIfNot(stack.empty(), "unterminated json document");
+        return out;
+    }
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    void
+    comma()
+    {
+        if (!out.empty()) {
+            const char last = out.back();
+            if (last != '{' && last != '[' && last != ':')
+                out += ',';
+        }
+    }
+
+    /** Comma handling for a value in the current context. */
+    void
+    prefix()
+    {
+        if (pendingKey) {
+            pendingKey = false;
+            return;
+        }
+        comma();
+    }
+
+    void
+    popFrame(Frame expected)
+    {
+        panicIfNot(!stack.empty() && stack.back() == expected,
+                   "mismatched json nesting");
+        stack.pop_back();
+    }
+
+    void
+    appendString(const std::string &s)
+    {
+        out += '"';
+        for (char ch : s) {
+            switch (ch) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(ch));
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+            }
+        }
+        out += '"';
+    }
+
+    std::string out;
+    std::vector<Frame> stack;
+    bool pendingKey = false;
+};
+
+} // namespace slpmt
+
+#endif // SLPMT_SIM_JSON_HH

@@ -29,7 +29,8 @@ TxnEngine::TxnEngine(const SchemeConfig &scheme, LoggingStyle style,
       statLazyLinesDeferred(stats.counter("txn.lazyLinesDeferred")),
       statLazyForcedPersists(stats.counter("txn.lazyForcedPersists")),
       statSigHits(stats.counter("txn.signatureHits")),
-      statIdReclaims(stats.counter("txn.idReclaims"))
+      statIdReclaims(stats.counter("txn.idReclaims")),
+      statRecoverReplays(stats.counter("txn.recoverRecordsApplied"))
 {
     logBuf.setSink(this);
     hier.setEvictionClient(this);
@@ -59,6 +60,7 @@ TxnEngine::txBegin()
     idState[curId].txnSeq = curSeq;
     idState[curId].lazyOutstanding = false;
     redoWriteSet.clear();
+    redoEvicted.clear();
     inTxn = true;
     statTxns++;
     clock += costs.txBegin;
@@ -179,10 +181,12 @@ TxnEngine::commitRedo(Cycles when)
             line->clearTxnMeta();
             statLinesPersistedAtCommit++;
         } else {
-            // Evicted during the transaction: refetch and persist the
-            // final value (the redo log holds it too).
+            // Evicted during the transaction: refetch, restore the
+            // stashed image if the shared cache dropped the clean
+            // copy, and persist the final value.
             AccessResult res = hier.access(line_addr, false, when + c);
             c += res.latency;
+            restoreRedoEvicted(*res.line);
             c += hier.persistPrivateLine(*res.line,
                                          PersistKind::LoggedLine,
                                          when + c);
@@ -208,7 +212,23 @@ TxnEngine::commitRedo(Cycles when)
         ids.release(curId);
     }
     redoWriteSet.clear();
+    redoEvicted.clear();
     return c;
+}
+
+void
+TxnEngine::restoreRedoEvicted(CacheLine &line)
+{
+    const auto it = redoEvicted.find(line.tag);
+    if (it == redoEvicted.end())
+        return;
+    line.data = it->second;
+    line.dirty = true;
+    line.state = MesiState::Modified;
+    line.txnId = curId;
+    line.txnSeq = curSeq;
+    line.persistBit = true;
+    redoEvicted.erase(it);
 }
 
 void
@@ -231,6 +251,12 @@ TxnEngine::txAbort()
     for (Addr addr : to_invalidate)
         hier.invalidateLineEverywhere(addr);
 
+    // Redo write-set lines whose private eviction was suppressed sit
+    // in the shared cache as clean copies of the aborted data; drop
+    // them too so post-abort reads refetch the old values from PM.
+    for (Addr addr : redoWriteSet)
+        hier.invalidateLineEverywhere(addr);
+
     // (2) Kernel-space replay of the undo log onto PM; a redo log is
     // simply discarded (nothing of the transaction reached PM).
     if (loggingStyle == LoggingStyle::Undo)
@@ -242,6 +268,7 @@ TxnEngine::txAbort()
     // the caller's responsibility after this returns.
     ids.release(curId);
     redoWriteSet.clear();
+    redoEvicted.clear();
     inTxn = false;
     clock += costs.txCommit;
 }
@@ -262,6 +289,8 @@ TxnEngine::load(Addr addr, void *out, std::size_t len)
 
         AccessResult res = hier.access(addr, false, clock + c);
         c += res.latency;
+        if (loggingStyle == LoggingStyle::Redo && inTxn)
+            restoreRedoEvicted(*res.line);
 
         if (addrMap.isPm(addr)) {
             // Loads check the line's owning transaction ID: hitting an
@@ -334,6 +363,8 @@ TxnEngine::storeSegment(Addr addr, const void *src, std::size_t len,
     AccessResult res = hier.access(addr, true, when + c);
     c += res.latency;
     CacheLine &line = *res.line;
+    if (loggingStyle == LoggingStyle::Redo && inTxn)
+        restoreRedoEvicted(line);
 
     // Writing a line owned by an earlier transaction forces that
     // transaction's lazy data out before the update proceeds.
@@ -646,11 +677,17 @@ TxnEngine::evictingPrivateLine(CacheLine &line, Cycles when)
     // III-B1) while its word records still sit in the buffer.
     c += logBuf.flushLine(line.tag, when);
 
-    if (loggingStyle == LoggingStyle::Redo && line.logBits &&
-        inTxn && line.txnId == curId && line.txnSeq == curSeq) {
-        // Redo (no-steal): uncommitted logged data must not reach PM.
-        // The redo record is durable; suppress the writeback and let
-        // commit persist the final value.
+    // Redo (no-steal): uncommitted logged data must not reach PM.
+    // Tested against the write set, not the line's log bits — the
+    // flushLine() above just drained this line's records, which
+    // clears its log bits. The records are durable, but the line
+    // continues into the shared cache as clean and may be dropped
+    // there, so its image is stashed and restored on the next access
+    // (a hardware redo design would service such reads from the log).
+    if (loggingStyle == LoggingStyle::Redo && inTxn &&
+        line.txnId == curId && line.txnSeq == curSeq &&
+        redoWriteSet.count(line.tag)) {
+        redoEvicted[line.tag] = line.data;
         line.dirty = false;
         line.clearTxnMeta();
         return c;
@@ -736,6 +773,7 @@ TxnEngine::crash()
         st.txnSeq = 0;
     }
     redoWriteSet.clear();
+    redoEvicted.clear();
     inTxn = false;
     curId = noTxnId;
     pm.crash();
@@ -744,8 +782,11 @@ TxnEngine::crash()
 std::size_t
 TxnEngine::recover()
 {
-    if (loggingStyle == LoggingStyle::Undo)
-        return undoLog.applyUndo();
+    if (loggingStyle == LoggingStyle::Undo) {
+        const std::size_t applied = undoLog.applyUndo();
+        statRecoverReplays += applied;
+        return applied;
+    }
 
     // Redo: a commit marker (sentinel base) means the transaction
     // committed and its records must be replayed forward; otherwise
@@ -766,6 +807,7 @@ TxnEngine::recover()
         }
     }
     undoLog.discard();
+    statRecoverReplays += applied;
     return applied;
 }
 

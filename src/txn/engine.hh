@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <exception>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -176,6 +177,18 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     void armCrashAfterStores(std::uint64_t n) { crashCountdown = n; }
 
     /**
+     * Total store/storeT instructions executed so far — the ordinal
+     * space armCrashAfterStores() counts in. The crash-point explorer
+     * dry-runs a workload, reads this, and enumerates every value as
+     * an injection point.
+     */
+    std::uint64_t
+    storesExecuted() const
+    {
+        return statStores.get() + statStoreTs.get();
+    }
+
+    /**
      * Post-crash hardware-level recovery: replay the persistent undo
      * log (or redo log) onto the durable image and truncate it.
      * Structure-level fix-up of log-free data is the caller's job.
@@ -269,6 +282,19 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     /** Redo mode: lines written by the in-flight txn (volatile). */
     std::set<Addr> redoWriteSet;
 
+    /**
+     * Redo mode (no-steal): images of in-flight logged lines whose
+     * writeback was suppressed on private eviction. The shared cache
+     * holds them as clean lines and may silently drop them, so the
+     * engine restores the image on the next access — the software
+     * stand-in for a hardware redo design servicing such reads from
+     * the log. Volatile; cleared on commit, abort and crash.
+     */
+    std::map<Addr, std::array<std::uint8_t, cacheLineSize>> redoEvicted;
+
+    /** Restore @p line's data from redoEvicted if it was stashed. */
+    void restoreRedoEvicted(CacheLine &line);
+
     StatsRegistry::Counter statTxns;
     StatsRegistry::Counter statCommits;
     StatsRegistry::Counter statAborts;
@@ -281,6 +307,7 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     StatsRegistry::Counter statLazyForcedPersists;
     StatsRegistry::Counter statSigHits;
     StatsRegistry::Counter statIdReclaims;
+    StatsRegistry::Counter statRecoverReplays;
 };
 
 } // namespace slpmt

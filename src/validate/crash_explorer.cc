@@ -1,0 +1,406 @@
+#include "validate/crash_explorer.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/pm_system.hh"
+#include "sim/json.hh"
+#include "validate/work_queue.hh"
+#include "workloads/factory.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+/** Committed state the durable structure must match after recovery. */
+using Shadow = std::map<std::uint64_t, std::vector<std::uint8_t>>;
+
+/** Cap per check phase so one broken point cannot flood the report. */
+constexpr std::size_t maxViolationsPerPhase = 4;
+
+SystemConfig
+systemFor(const CrashSweepConfig &cfg)
+{
+    SystemConfig sc;
+    sc.scheme = SchemeConfig::forKind(cfg.scheme);
+    sc.style = cfg.style;
+    if (cfg.tinyCache) {
+        sc.hierarchy.l1 = CacheConfig{"L1", 1024, 2, 4};
+        sc.hierarchy.l2 = CacheConfig{"L2", 2048, 2, 12};
+        sc.hierarchy.l3 = CacheConfig{"L3", 4096, 4, 40};
+    }
+    return sc;
+}
+
+std::string
+styleName(LoggingStyle style)
+{
+    return style == LoggingStyle::Undo ? "undo" : "redo";
+}
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+/** The printed handle that reproduces a failure in isolation. */
+std::string
+reproTuple(const CrashSweepConfig &cfg, std::uint64_t crash_point)
+{
+    return "(scheme=" + schemeName(cfg.scheme) +
+           " style=" + styleName(cfg.style) +
+           " workload=" + cfg.workload +
+           " seed=" + std::to_string(cfg.mix.seed) +
+           std::string(cfg.tinyCache ? " tiny_cache=1" : "") +
+           " crash_point=" + std::to_string(crash_point) + ")";
+}
+
+/**
+ * Apply one trace op, updating the oracle only when the structure
+ * reports the op took effect (removes/updates of absent keys and
+ * unsupported removes run no transaction).
+ */
+void
+applyOp(PmSystem &sys, Workload &wl, const YcsbMixedOp &op,
+        Shadow &shadow)
+{
+    switch (op.kind) {
+      case YcsbOpKind::Insert:
+        wl.insert(sys, op.key, op.value);
+        shadow[op.key] = op.value;
+        break;
+      case YcsbOpKind::Update:
+        if (wl.update(sys, op.key, op.value))
+            shadow[op.key] = op.value;
+        break;
+      case YcsbOpKind::Remove:
+        if (wl.remove(sys, op.key))
+            shadow.erase(op.key);
+        break;
+    }
+}
+
+/** The oracle: compare the recovered structure against the shadow. */
+void
+checkState(PmSystem &sys, Workload &wl, const Shadow &shadow,
+           const std::vector<std::uint64_t> &absent_keys,
+           const std::string &tuple, const std::string &phase,
+           std::vector<std::string> &out)
+{
+    std::size_t added = 0;
+    auto add = [&](const std::string &msg) {
+        if (added < maxViolationsPerPhase)
+            out.push_back(tuple + " " + phase + ": " + msg);
+        else if (added == maxViolationsPerPhase)
+            out.push_back(tuple + " " + phase +
+                          ": further violations suppressed");
+        ++added;
+    };
+
+    std::string why;
+    if (!wl.checkConsistency(sys, &why))
+        add("structure invariant violated: " + why);
+
+    const std::size_t n = wl.count(sys);
+    if (n != shadow.size())
+        add("count mismatch: structure holds " + std::to_string(n) +
+            ", oracle expects " + std::to_string(shadow.size()));
+
+    std::vector<std::uint8_t> got;
+    for (const auto &[key, value] : shadow) {
+        got.clear();
+        if (!wl.lookup(sys, key, &got))
+            add("committed key " + hexKey(key) + " missing");
+        else if (got != value)
+            add("value mismatch for committed key " + hexKey(key));
+    }
+
+    for (std::uint64_t key : absent_keys) {
+        if (wl.lookup(sys, key, nullptr))
+            add("uncommitted or removed key " + hexKey(key) +
+                " visible");
+    }
+}
+
+/** Run one crash point against a pre-generated trace. */
+CrashPointOutcome
+runPointOnTrace(const CrashSweepConfig &cfg,
+                const std::vector<YcsbMixedOp> &trace,
+                std::uint64_t crash_point)
+{
+    CrashPointOutcome out;
+    out.crashPoint = crash_point;
+    const std::string tuple = reproTuple(cfg, crash_point);
+
+    try {
+        PmSystem sys(systemFor(cfg));
+        auto wl = makeWorkload(cfg.workload);
+        wl->setup(sys);
+
+        Shadow shadow;
+        if (crash_point > 0)
+            sys.armCrashAfterStores(crash_point);
+        bool crashed = false;
+        for (const auto &op : trace) {
+            try {
+                applyOp(sys, *wl, op, shadow);
+            } catch (const CrashInjected &) {
+                crashed = true;
+                break;
+            }
+            ++out.committedOps;
+        }
+        sys.armCrashAfterStores(0);
+        out.fired = crashed;
+
+        // A point past the last store (or the explicit post-completion
+        // point 0): power off after the trace, with any lazily
+        // persistent data still volatile in the caches.
+        if (!crashed)
+            sys.crash();
+
+        // Keys the trace touched that must NOT be visible: removed
+        // keys and the interrupted op's fresh insert.
+        std::vector<std::uint64_t> absent;
+        {
+            std::set<std::uint64_t> keys;
+            for (const auto &op : trace)
+                keys.insert(op.key);
+            for (std::uint64_t key : keys) {
+                if (!shadow.count(key))
+                    absent.push_back(key);
+            }
+        }
+
+        // Hardware-level recovery (log replay), then the workload's
+        // user-level recovery of log-free and lazy data.
+        if (!cfg.skipHardwareReplay)
+            out.replayedRecords = sys.recoverHardware();
+        if (!cfg.skipUserRecovery)
+            wl->recover(sys);
+        checkState(sys, *wl, shadow, absent, tuple, "post-recovery",
+                   out.violations);
+
+        // Recovery must be idempotent: a second replay finds an empty
+        // log and a second user-level pass changes nothing.
+        if (cfg.checkIdempotence) {
+            const std::size_t again =
+                cfg.skipHardwareReplay ? 0 : sys.recoverHardware();
+            if (again != 0)
+                out.violations.push_back(
+                    tuple + " idempotence: second hardware recovery "
+                            "replayed " +
+                    std::to_string(again) + " records");
+            if (!cfg.skipUserRecovery)
+                wl->recover(sys);
+            checkState(sys, *wl, shadow, absent, tuple, "idempotence",
+                       out.violations);
+        }
+
+        // The recovered structure must keep working: a few fresh
+        // inserts with per-point deterministic keys. Trace keys are
+        // odd, continuation keys even, so they can never collide.
+        if (cfg.continuationOps > 0) {
+            Rng rng(mix64(cfg.mix.seed) ^ (crash_point + 1));
+            for (std::size_t i = 0; i < cfg.continuationOps; ++i) {
+                std::uint64_t key;
+                do {
+                    key = ((rng.next() >> 1) | 2ULL) &
+                          ~static_cast<std::uint64_t>(1);
+                } while (shadow.count(key));
+                const auto value =
+                    ycsbValueFor(key, cfg.mix.valueBytes);
+                wl->insert(sys, key, value);
+                shadow[key] = value;
+            }
+            checkState(sys, *wl, shadow, absent, tuple, "continuation",
+                       out.violations);
+        }
+
+        out.stats = sys.stats().snapshot();
+    } catch (const std::exception &e) {
+        out.violations.push_back(tuple + " exception: " + e.what());
+    }
+    return out;
+}
+
+/**
+ * Enumerate the crash points to explore: every store when the budget
+ * allows, otherwise one deterministically drawn point per stratum
+ * (always covering the first and last store). Sentinel 0 appended
+ * last stands for the post-completion crash.
+ */
+std::vector<std::uint64_t>
+enumeratePoints(const CrashSweepConfig &cfg, std::uint64_t total_stores)
+{
+    std::vector<std::uint64_t> points;
+    const std::uint64_t total = total_stores;
+    if (total > 0) {
+        if (cfg.maxPoints == 0 || total <= cfg.maxPoints) {
+            for (std::uint64_t k = 1; k <= total; ++k)
+                points.push_back(k);
+        } else {
+            Rng rng(mix64(cfg.mix.seed ^ 0xc5a5c5a5c5a5c5a5ULL));
+            const std::uint64_t strata = cfg.maxPoints;
+            for (std::uint64_t s = 0; s < strata; ++s) {
+                const std::uint64_t lo = 1 + s * total / strata;
+                const std::uint64_t hi = 1 + (s + 1) * total / strata;
+                points.push_back(hi > lo ? lo + rng.below(hi - lo)
+                                         : lo);
+            }
+            points.front() = 1;
+            points.back() = total;
+            std::sort(points.begin(), points.end());
+            points.erase(std::unique(points.begin(), points.end()),
+                         points.end());
+        }
+    }
+    if (cfg.crashAfterCompletion)
+        points.push_back(0);
+    return points;
+}
+
+} // namespace
+
+std::uint64_t
+countTraceStores(const CrashSweepConfig &cfg)
+{
+    const auto trace = ycsbMixedLoad(cfg.mix);
+    PmSystem sys(systemFor(cfg));
+    auto wl = makeWorkload(cfg.workload);
+    wl->setup(sys);
+    const std::uint64_t base = sys.engine().storesExecuted();
+    Shadow shadow;
+    for (const auto &op : trace)
+        applyOp(sys, *wl, op, shadow);
+    return sys.engine().storesExecuted() - base;
+}
+
+CrashPointOutcome
+runCrashPoint(const CrashSweepConfig &cfg, std::uint64_t crash_point)
+{
+    return runPointOnTrace(cfg, ycsbMixedLoad(cfg.mix), crash_point);
+}
+
+CrashSweepReport
+runCrashSweep(const CrashSweepConfig &cfg)
+{
+    CrashSweepReport report;
+    report.config = cfg;
+
+    const auto trace = ycsbMixedLoad(cfg.mix);
+    report.traceOps = trace.size();
+    report.traceStores = countTraceStores(cfg);
+
+    const auto points = enumeratePoints(cfg, report.traceStores);
+    report.points.resize(points.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
+                    points.size(), [&](std::size_t i) {
+                        report.points[i] =
+                            runPointOnTrace(cfg, trace, points[i]);
+                    });
+    const auto t1 = std::chrono::steady_clock::now();
+    report.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return report;
+}
+
+std::size_t
+CrashSweepReport::violationCount() const
+{
+    std::size_t n = 0;
+    for (const auto &p : points)
+        n += p.violations.size();
+    return n;
+}
+
+std::uint64_t
+CrashSweepReport::replayedRecordsTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : points)
+        n += p.replayedRecords;
+    return n;
+}
+
+std::string
+CrashSweepReport::violationsText() const
+{
+    std::string text;
+    for (const auto &p : points) {
+        for (const auto &v : p.violations) {
+            text += v;
+            text += '\n';
+        }
+    }
+    return text;
+}
+
+std::string
+CrashSweepReport::toJson() const
+{
+    // Sum the per-point stats registries into one sweep-level view
+    // (addition commutes, so this is worker-count independent).
+    StatsSnapshot aggregate;
+    std::size_t fired = 0;
+    for (const auto &p : points) {
+        fired += p.fired ? 1 : 0;
+        for (const auto &[name, value] : p.stats)
+            aggregate[name] += value;
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("scheme").value(schemeName(config.scheme));
+    w.key("style").value(styleName(config.style));
+    w.key("workload").value(config.workload);
+    w.key("seed").value(config.mix.seed);
+    w.key("tiny_cache").value(config.tinyCache);
+    w.key("trace_ops").value(traceOps);
+    w.key("trace_stores").value(traceStores);
+    w.key("points_explored").value(pointsExplored());
+    w.key("points_fired").value(fired);
+    w.key("violations").value(violationCount());
+    w.key("replayed_records").value(replayedRecordsTotal());
+    w.key("workers").value(config.workers);
+    w.key("wall_ms").value(wallMs);
+
+    w.key("violation_lines").beginArray();
+    for (const auto &p : points) {
+        for (const auto &v : p.violations)
+            w.value(v);
+    }
+    w.endArray();
+
+    w.key("stats").beginObject();
+    for (const auto &[name, value] : aggregate)
+        w.key(name).value(value);
+    w.endObject();
+
+    w.key("points").beginArray();
+    for (const auto &p : points) {
+        w.beginObject();
+        w.key("crash_point").value(p.crashPoint);
+        w.key("fired").value(p.fired);
+        w.key("committed_ops").value(p.committedOps);
+        w.key("replayed_records").value(p.replayedRecords);
+        w.key("violations").value(p.violations.size());
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace slpmt

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Exhaustive crash-point exploration (recovery-correctness fuzzing).
+ *
+ * The paper's guarantee is that selective logging plus lazy
+ * persistency recovers a consistent state from *any* power-failure
+ * point. This subsystem validates that systematically instead of via
+ * hand-picked points: a dry run counts the store/storeT instructions a
+ * seeded workload trace executes, the explorer enumerates crash points
+ * over that range (every store for small runs, deterministic
+ * stratified sampling for large ones, plus one post-completion point
+ * that crashes with lazy data still volatile), and each point re-runs
+ * the trace on a fresh simulated machine, injects the power failure at
+ * exactly that store, runs hardware recovery (undo/redo replay) plus
+ * the workload's user-level recovery, and checks the surviving state
+ * against a shadow-map oracle:
+ *
+ *  - every committed key is readable with its committed value,
+ *  - no aborted or in-flight partial update is visible,
+ *  - the structure's deep invariants hold,
+ *  - recovery is idempotent (running it twice changes nothing),
+ *  - the structure keeps working (post-recovery inserts succeed).
+ *
+ * Points are independent — each owns its own machine — so the sweep
+ * runs on a work-stealing worker pool; results land in slots indexed
+ * by point, making the violation report bit-identical for any worker
+ * count. Every violation prints the (scheme, style, workload, seed,
+ * crash_point) tuple that reproduces it in isolation.
+ */
+
+#ifndef SLPMT_VALIDATE_CRASH_EXPLORER_HH
+#define SLPMT_VALIDATE_CRASH_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "txn/engine.hh"
+#include "txn/scheme.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+
+/** Everything configurable about one crash sweep. */
+struct CrashSweepConfig
+{
+    SchemeKind scheme = SchemeKind::SLPMT;
+    LoggingStyle style = LoggingStyle::Undo;
+    std::string workload = "hashtable";
+
+    /** Seeded op trace the sweep replays (seed is the repro handle). */
+    YcsbMixConfig mix;
+
+    /**
+     * Crash-point budget. 0 explores every store; otherwise the range
+     * is split into this many strata and one point is drawn
+     * deterministically (from the trace seed) per stratum, always
+     * including the first and last store.
+     */
+    std::size_t maxPoints = 0;
+
+    /** Also crash once after the full trace (lazy data still cached). */
+    bool crashAfterCompletion = true;
+
+    /** Re-run recovery a second time and re-verify (idempotence). */
+    bool checkIdempotence = true;
+
+    /** Fresh inserts after recovery proving the structure still works. */
+    std::size_t continuationOps = 2;
+
+    /** Worker threads for the sweep (1 = serial). */
+    std::size_t workers = 1;
+
+    /**
+     * Shrink the caches far below the working set so dirty
+     * transactional lines overflow mid-transaction, draining log
+     * records to PM and making recovery actually replay them. With the
+     * default Table III hierarchy small traces fit entirely in cache
+     * and every crash point recovers from an empty persistent log.
+     */
+    bool tinyCache = false;
+
+    /**
+     * Fault-injection knobs for the explorer's own tests: deliberately
+     * skip a recovery stage to prove the oracle discriminates a broken
+     * recovery path from a working one. Never set in real sweeps.
+     */
+    bool skipHardwareReplay = false;
+    bool skipUserRecovery = false;
+};
+
+/** Outcome of one explored crash point. */
+struct CrashPointOutcome
+{
+    /** Store/storeT instruction ordinal at which the crash fired;
+     *  0 marks the post-completion crash point. */
+    std::uint64_t crashPoint = 0;
+
+    /** The armed crash fired mid-trace (vs. injected after it). */
+    bool fired = false;
+
+    /** Trace ops that committed before the crash. */
+    std::size_t committedOps = 0;
+
+    /** Log records the hardware recovery replayed. */
+    std::size_t replayedRecords = 0;
+
+    /** Oracle violations (empty = the point recovered correctly). */
+    std::vector<std::string> violations;
+
+    /** This point's machine counters (summed into the sweep report). */
+    StatsSnapshot stats;
+};
+
+/** Aggregated result of a sweep. */
+struct CrashSweepReport
+{
+    CrashSweepConfig config;
+
+    /** Store/storeT instructions the full trace executes (dry run). */
+    std::uint64_t traceStores = 0;
+
+    /** Ops of the generated trace. */
+    std::size_t traceOps = 0;
+
+    /** Per-point outcomes, ordered by crash point (deterministic). */
+    std::vector<CrashPointOutcome> points;
+
+    /** Wall-clock milliseconds of the (possibly parallel) sweep. */
+    double wallMs = 0.0;
+
+    std::size_t pointsExplored() const { return points.size(); }
+    std::size_t violationCount() const;
+    std::uint64_t replayedRecordsTotal() const;
+
+    /**
+     * Deterministic, timing-free violation listing: one line per
+     * violation carrying the full repro tuple. Bit-identical across
+     * worker counts; empty string when the sweep is clean.
+     */
+    std::string violationsText() const;
+
+    /** Full machine-readable report (includes timing and settings). */
+    std::string toJson() const;
+};
+
+/** Run one sweep: dry-run, enumerate, explore (possibly in parallel). */
+CrashSweepReport runCrashSweep(const CrashSweepConfig &cfg);
+
+/**
+ * Re-run a single crash point in isolation — the reproducer for a
+ * printed (scheme, style, workload, seed, crash_point) tuple.
+ * @p crash_point 0 reproduces the post-completion point.
+ */
+CrashPointOutcome runCrashPoint(const CrashSweepConfig &cfg,
+                                std::uint64_t crash_point);
+
+/** Dry-run the trace and count its store/storeT instructions. */
+std::uint64_t countTraceStores(const CrashSweepConfig &cfg);
+
+} // namespace slpmt
+
+#endif // SLPMT_VALIDATE_CRASH_EXPLORER_HH

@@ -66,6 +66,75 @@ ycsbLoad(const YcsbConfig &cfg)
     return ops;
 }
 
+/** Operation kinds of the mixed (YCSB-A-style) trace. */
+enum class YcsbOpKind : std::uint8_t
+{
+    Insert,
+    Update,
+    Remove,
+};
+
+/** One operation of a mixed trace. */
+struct YcsbMixedOp
+{
+    YcsbOpKind kind;
+    std::uint64_t key;
+    std::vector<std::uint8_t> value;  //!< empty for Remove
+};
+
+/** Parameters of a mixed insert/update/remove trace. */
+struct YcsbMixConfig
+{
+    std::size_t numOps = 1000;
+    std::size_t valueBytes = 256;
+    std::uint64_t seed = 42;
+    unsigned insertPct = 100;  //!< remainder splits update/remove
+    unsigned updatePct = 0;
+    unsigned removePct = 0;
+};
+
+/**
+ * Generate a mixed trace. Updates and removes target keys that are
+ * live at that point of the trace, so replaying the trace in order
+ * against an initially empty structure always finds its targets (a
+ * structure that does not support remove() simply reports false and
+ * runs no transaction for those ops). Fully deterministic in the seed.
+ */
+inline std::vector<YcsbMixedOp>
+ycsbMixedLoad(const YcsbMixConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::uint64_t> live;
+    std::vector<YcsbMixedOp> ops;
+    ops.reserve(cfg.numOps);
+    std::uint64_t update_salt = 0;
+    while (ops.size() < cfg.numOps) {
+        const unsigned roll = static_cast<unsigned>(rng.below(100));
+        if (live.empty() || roll < cfg.insertPct) {
+            const std::uint64_t key = (rng.next() >> 1) | 1ULL;
+            if (!seen.insert(key).second)
+                continue;
+            live.push_back(key);
+            ops.push_back({YcsbOpKind::Insert, key,
+                           ycsbValueFor(key, cfg.valueBytes)});
+        } else if (roll < cfg.insertPct + cfg.updatePct) {
+            const std::uint64_t key = live[rng.below(live.size())];
+            // A fresh deterministic value, distinct from the insert's.
+            ops.push_back({YcsbOpKind::Update, key,
+                           ycsbValueFor(key ^ mix64(++update_salt),
+                                        cfg.valueBytes)});
+        } else {
+            const std::size_t idx = rng.below(live.size());
+            const std::uint64_t key = live[idx];
+            live[idx] = live.back();
+            live.pop_back();
+            ops.push_back({YcsbOpKind::Remove, key, {}});
+        }
+    }
+    return ops;
+}
+
 } // namespace slpmt
 
 #endif // SLPMT_WORKLOADS_YCSB_HH

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests of the crash-point explorer itself: clean sampled sweeps over
+ * every scheme family (the recovery guarantee), bit-identical parallel
+ * determinism, oracle discrimination against deliberately broken
+ * recovery paths, and the underlying work-stealing queue and JSON
+ * writer.
+ */
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "validate/crash_explorer.hh"
+#include "validate/work_queue.hh"
+#include "workloads/factory.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+/** The standard sweep configuration the suite uses: big enough values
+ *  that rbtree rebalancing transactions self-evict under the tiny
+ *  cache (so hardware log replay actually runs), small enough to keep
+ *  a multi-scheme sampled sweep inside tier-1 time. */
+CrashSweepConfig
+sweepConfig(SchemeKind scheme, LoggingStyle style,
+            const std::string &workload)
+{
+    CrashSweepConfig cfg;
+    cfg.scheme = scheme;
+    cfg.style = style;
+    cfg.workload = workload;
+    cfg.mix.numOps = 60;
+    cfg.mix.valueBytes = 256;
+    cfg.mix.seed = 42;
+    cfg.mix.insertPct = 80;
+    cfg.mix.updatePct = 12;
+    cfg.mix.removePct = 8;
+    cfg.maxPoints = 100;
+    cfg.tinyCache = true;
+    return cfg;
+}
+
+/** Sweep one scheme over both workloads; returns total points. */
+std::size_t
+expectCleanSweeps(SchemeKind scheme, LoggingStyle style,
+                  std::uint64_t *replays_out = nullptr)
+{
+    std::size_t points = 0;
+    std::uint64_t replays = 0;
+    for (const std::string workload : {"hashtable", "rbtree"}) {
+        const auto report =
+            runCrashSweep(sweepConfig(scheme, style, workload));
+        EXPECT_EQ(report.violationCount(), 0u)
+            << report.violationsText();
+        EXPECT_GE(report.pointsExplored(), 100u);
+        points += report.pointsExplored();
+        replays += report.replayedRecordsTotal();
+    }
+    if (replays_out)
+        *replays_out = replays;
+    return points;
+}
+
+TEST(CrashSweep, SlpmtUndoRecoversEverySampledPoint)
+{
+    std::uint64_t replays = 0;
+    const std::size_t points =
+        expectCleanSweeps(SchemeKind::SLPMT, LoggingStyle::Undo,
+                          &replays);
+    EXPECT_GE(points, 200u);
+    // The sweep must exercise the hardware replay path, not just
+    // crash points where the persistent log happens to be empty.
+    EXPECT_GT(replays, 0u);
+}
+
+TEST(CrashSweep, FullLoggingUndoRecoversEverySampledPoint)
+{
+    std::uint64_t replays = 0;
+    const std::size_t points =
+        expectCleanSweeps(SchemeKind::FG, LoggingStyle::Undo,
+                          &replays);
+    EXPECT_GE(points, 200u);
+    EXPECT_GT(replays, 0u);
+}
+
+TEST(CrashSweep, RedoStyleRecoversEverySampledPoint)
+{
+    const std::size_t points =
+        expectCleanSweeps(SchemeKind::FG, LoggingStyle::Redo);
+    EXPECT_GE(points, 200u);
+}
+
+TEST(CrashSweep, LazyCacheLineGrainRecoversEverySampledPoint)
+{
+    expectCleanSweeps(SchemeKind::SLPMT_CL, LoggingStyle::Undo);
+}
+
+/** Broader, shallower pass: every registered workload survives a
+ *  sampled sweep under the full SLPMT scheme. */
+TEST(CrashSweep, EveryWorkloadSurvivesSampledCrashes)
+{
+    for (const auto &workload : allWorkloads()) {
+        CrashSweepConfig cfg = sweepConfig(
+            SchemeKind::SLPMT, LoggingStyle::Undo, workload);
+        cfg.mix.numOps = 30;
+        cfg.maxPoints = 25;
+        const auto report = runCrashSweep(cfg);
+        EXPECT_EQ(report.violationCount(), 0u)
+            << workload << ":\n"
+            << report.violationsText();
+    }
+}
+
+/** The post-completion point (sentinel 0) crashes with lazily
+ *  persistent data still volatile; user recovery must rebuild it. */
+TEST(CrashSweep, PostCompletionCrashRecoversLazyData)
+{
+    const auto cfg = sweepConfig(SchemeKind::SLPMT,
+                                 LoggingStyle::Undo, "hashtable");
+    const auto out = runCrashPoint(cfg, 0);
+    EXPECT_FALSE(out.fired);
+    EXPECT_EQ(out.violations.size(), 0u);
+    EXPECT_GT(out.committedOps, 0u);
+}
+
+/**
+ * Same sweep, 1 worker vs 4 workers: the violation report and every
+ * per-point outcome must be bit-identical regardless of scheduling.
+ * Wall times and speedup land in a JSON report for inspection.
+ */
+TEST(CrashSweep, ParallelSweepIsBitIdenticalToSerial)
+{
+    CrashSweepConfig serial_cfg =
+        sweepConfig(SchemeKind::SLPMT, LoggingStyle::Undo, "rbtree");
+    serial_cfg.workers = 1;
+    CrashSweepConfig parallel_cfg = serial_cfg;
+    parallel_cfg.workers = 4;
+
+    const auto serial = runCrashSweep(serial_cfg);
+    const auto parallel = runCrashSweep(parallel_cfg);
+
+    EXPECT_EQ(serial.violationsText(), parallel.violationsText());
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        const auto &a = serial.points[i];
+        const auto &b = parallel.points[i];
+        EXPECT_EQ(a.crashPoint, b.crashPoint);
+        EXPECT_EQ(a.fired, b.fired);
+        EXPECT_EQ(a.committedOps, b.committedOps);
+        EXPECT_EQ(a.replayedRecords, b.replayedRecords);
+        EXPECT_EQ(a.stats, b.stats);
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("serial_wall_ms").value(serial.wallMs);
+    w.key("parallel_wall_ms").value(parallel.wallMs);
+    w.key("speedup").value(parallel.wallMs > 0.0
+                               ? serial.wallMs / parallel.wallMs
+                               : 0.0);
+    w.key("hardware_threads")
+        .value(std::thread::hardware_concurrency());
+    w.key("points").value(serial.points.size());
+    w.endObject();
+    std::ofstream("crash_sweep_determinism.json") << w.str() << "\n";
+}
+
+/** On a real multicore host the 4-worker sweep must be clearly
+ *  faster; single-core CI boxes skip the timing half. */
+TEST(CrashSweep, ParallelSweepSpeedsUpOnMulticore)
+{
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "needs >= 4 hardware threads for a "
+                        "meaningful speedup measurement";
+
+    CrashSweepConfig cfg =
+        sweepConfig(SchemeKind::SLPMT, LoggingStyle::Undo, "rbtree");
+    cfg.mix.numOps = 120;
+    cfg.maxPoints = 200;
+    cfg.workers = 1;
+    const auto serial = runCrashSweep(cfg);
+    cfg.workers = 4;
+    const auto parallel = runCrashSweep(cfg);
+    EXPECT_EQ(serial.violationsText(), parallel.violationsText());
+    EXPECT_GE(serial.wallMs / parallel.wallMs, 2.0)
+        << "serial " << serial.wallMs << " ms vs parallel "
+        << parallel.wallMs << " ms";
+}
+
+/**
+ * Oracle discrimination: a recovery path with the hardware log replay
+ * deliberately skipped must be caught. The FG/rbtree/tiny-cache sweep
+ * is the one whose points genuinely depend on undo replay (dirty
+ * rebalancing lines overflow to PM mid-transaction).
+ */
+TEST(CrashSweep, SkippedHardwareReplayIsCaught)
+{
+    CrashSweepConfig cfg =
+        sweepConfig(SchemeKind::FG, LoggingStyle::Undo, "rbtree");
+    cfg.skipHardwareReplay = true;
+    const auto report = runCrashSweep(cfg);
+    EXPECT_GT(report.violationCount(), 0u)
+        << "a sweep with hardware recovery disabled reported clean -- "
+           "the oracle discriminates nothing";
+
+    // The printed tuple must reproduce in isolation.
+    for (const auto &p : report.points) {
+        if (p.violations.empty())
+            continue;
+        const auto again = runCrashPoint(cfg, p.crashPoint);
+        EXPECT_EQ(again.violations, p.violations);
+        break;
+    }
+}
+
+/** Skipping the user-level (log-free / lazy data) recovery pass must
+ *  equally be caught under selective logging. */
+TEST(CrashSweep, SkippedUserRecoveryIsCaught)
+{
+    CrashSweepConfig cfg = sweepConfig(SchemeKind::SLPMT,
+                                       LoggingStyle::Undo, "rbtree");
+    cfg.skipUserRecovery = true;
+    const auto report = runCrashSweep(cfg);
+    EXPECT_GT(report.violationCount(), 0u)
+        << "a sweep with user-level recovery disabled reported clean";
+}
+
+TEST(CrashSweep, ReportJsonIsWellFormed)
+{
+    CrashSweepConfig cfg = sweepConfig(SchemeKind::SLPMT,
+                                       LoggingStyle::Undo, "hashtable");
+    cfg.mix.numOps = 10;
+    cfg.maxPoints = 5;
+    const auto report = runCrashSweep(cfg);
+    const std::string json = report.toJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"scheme\":\"SLPMT\""), std::string::npos);
+    EXPECT_NE(json.find("\"violation_lines\":[]"), std::string::npos);
+    EXPECT_NE(json.find("\"points\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing queue
+// ---------------------------------------------------------------------
+
+TEST(WorkQueue, EveryItemRunsExactlyOnce)
+{
+    for (std::size_t workers : {1u, 2u, 3u, 4u, 8u}) {
+        constexpr std::size_t n = 500;
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+        runWorkStealing(workers, n,
+                        [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "item " << i << " with " << workers << " workers";
+    }
+}
+
+TEST(WorkQueue, UnevenItemCostsStillComplete)
+{
+    constexpr std::size_t n = 64;
+    std::atomic<std::size_t> done{0};
+    runWorkStealing(4, n, [&](std::size_t i) {
+        // Front-loaded cost: stealing from the busy worker matters.
+        volatile std::uint64_t x = 0;
+        for (std::size_t k = 0; k < (i < 4 ? 200000u : 100u); ++k)
+            x += k;
+        done++;
+    });
+    EXPECT_EQ(done.load(), n);
+}
+
+TEST(WorkQueue, ZeroAndSingleItemEdgeCases)
+{
+    std::atomic<std::size_t> done{0};
+    runWorkStealing(4, 0, [&](std::size_t) { done++; });
+    EXPECT_EQ(done.load(), 0u);
+    runWorkStealing(4, 1, [&](std::size_t) { done++; });
+    EXPECT_EQ(done.load(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------
+
+TEST(JsonWriter, ObjectsArraysAndEscapes)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("a\"b\\c\nd");
+    w.key("n").value(std::uint64_t{42});
+    w.key("pi").value(3.5);
+    w.key("ok").value(true);
+    w.key("list").beginArray().value(1ULL).value(2ULL).endArray();
+    w.key("nested").beginObject().key("x").value(false).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":42,\"pi\":3.500,"
+              "\"ok\":true,\"list\":[1,2],\"nested\":{\"x\":false}}");
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

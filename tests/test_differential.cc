@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Differential testing of selective logging against the full-logging
+ * baseline: the same seeded YCSB operation mix, executed under SLPMT
+ * (log-free + lazy storeT) and under FG (every store logged and
+ * eagerly persistent), must leave every data structure in the same
+ * logical state. Any divergence means the storeT semantics leaked
+ * into the visible behaviour of the structure.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pm_system.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+using Shadow = std::map<std::uint64_t, std::vector<std::uint8_t>>;
+
+SystemConfig
+systemFor(SchemeKind kind)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(kind);
+    return cfg;
+}
+
+/** Run the mixed trace; returns the final committed key->value map as
+ *  executed (ops on absent keys may be no-ops). */
+Shadow
+runTrace(PmSystem &sys, Workload &wl,
+         const std::vector<YcsbMixedOp> &trace)
+{
+    Shadow shadow;
+    for (const auto &op : trace) {
+        switch (op.kind) {
+          case YcsbOpKind::Insert:
+            wl.insert(sys, op.key, op.value);
+            shadow[op.key] = op.value;
+            break;
+          case YcsbOpKind::Update:
+            if (wl.update(sys, op.key, op.value))
+                shadow[op.key] = op.value;
+            break;
+          case YcsbOpKind::Remove:
+            if (wl.remove(sys, op.key))
+                shadow.erase(op.key);
+            break;
+        }
+    }
+    return shadow;
+}
+
+/** Full logical-state comparison of two recovered/live structures. */
+void
+expectSameState(const std::string &workload, PmSystem &a, Workload &wa,
+                PmSystem &b, Workload &wb, const Shadow &keys)
+{
+    EXPECT_EQ(wa.count(a), wb.count(b)) << workload;
+    std::vector<std::uint8_t> va, vb;
+    for (const auto &[key, expected] : keys) {
+        va.clear();
+        vb.clear();
+        const bool ina = wa.lookup(a, key, &va);
+        const bool inb = wb.lookup(b, key, &vb);
+        EXPECT_EQ(ina, inb) << workload << " key " << key;
+        if (ina && inb) {
+            EXPECT_EQ(va, vb) << workload << " key " << key;
+            EXPECT_EQ(va, expected) << workload << " key " << key;
+        }
+    }
+    std::string why;
+    EXPECT_TRUE(wa.checkConsistency(a, &why)) << workload << ": " << why;
+    EXPECT_TRUE(wb.checkConsistency(b, &why)) << workload << ": " << why;
+}
+
+void
+runDifferential(const std::string &workload, const YcsbMixConfig &mix)
+{
+    const auto trace = ycsbMixedLoad(mix);
+
+    PmSystem slpmt(systemFor(SchemeKind::SLPMT));
+    auto wl_slpmt = makeWorkload(workload);
+    wl_slpmt->setup(slpmt);
+    const Shadow shadow = runTrace(slpmt, *wl_slpmt, trace);
+
+    PmSystem fg(systemFor(SchemeKind::FG));
+    auto wl_fg = makeWorkload(workload);
+    wl_fg->setup(fg);
+    const Shadow shadow_fg = runTrace(fg, *wl_fg, trace);
+
+    // Same trace, same acceptance decisions: the executed-op shadows
+    // themselves must agree before the structures are compared.
+    EXPECT_EQ(shadow, shadow_fg) << workload;
+    expectSameState(workload, slpmt, *wl_slpmt, fg, *wl_fg, shadow);
+}
+
+TEST(Differential, InsertOnlyMixMatchesFullLogging)
+{
+    YcsbMixConfig mix;
+    mix.numOps = 120;
+    mix.valueBytes = 64;
+    mix.seed = 7;
+    for (const auto &workload : allWorkloads())
+        runDifferential(workload, mix);
+}
+
+TEST(Differential, MixedOpsMatchFullLogging)
+{
+    YcsbMixConfig mix;
+    mix.numOps = 150;
+    mix.valueBytes = 48;
+    mix.seed = 1234;
+    mix.insertPct = 60;
+    mix.updatePct = 25;
+    mix.removePct = 15;
+    for (const auto &workload : allWorkloads())
+        runDifferential(workload, mix);
+}
+
+TEST(Differential, RemoveHeavyMixMatchFullLogging)
+{
+    YcsbMixConfig mix;
+    mix.numOps = 100;
+    mix.valueBytes = 32;
+    mix.seed = 99;
+    mix.insertPct = 50;
+    mix.updatePct = 10;
+    mix.removePct = 40;
+    for (const auto &workload : allWorkloads())
+        runDifferential(workload, mix);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

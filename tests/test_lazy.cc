@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/pm_system.hh"
 #include "core/tx.hh"
+#include "txn/signature.hh"
 
 namespace slpmt
 {
@@ -125,6 +128,119 @@ TEST(Lazy, IdExhaustionForcesOldestPersist)
     sys.txCommit();
     EXPECT_EQ(sys.peek<std::uint64_t>(addrs[0]), 100u);
     EXPECT_EQ(sys.stats().get("txn.idReclaims"), 1u);
+}
+
+TEST(Lazy, RepeatedIdWraparoundForcesOldestEachTime)
+{
+    // The 2-bit circular allocator wraps every four transactions; a
+    // long run of lazy transactions must force exactly the oldest
+    // outstanding data out at every wrap, keeping at most four
+    // transactions volatile at any moment.
+    PmSystem sys = makeSlpmt();
+    constexpr int rounds = 16;
+    std::vector<Addr> addrs;
+    for (int i = 0; i < rounds; ++i)
+        addrs.push_back(sys.heap().alloc(64));
+
+    for (int i = 0; i < rounds; ++i) {
+        sys.txBegin();
+        sys.writeT<std::uint64_t>(addrs[i], 100 + i, lazyLogFree);
+        sys.txCommit();
+
+        // Everything older than the last four transactions has been
+        // reclaimed and is durable; the newest four are volatile.
+        for (int j = 0; j <= i; ++j) {
+            const auto expect =
+                j <= i - 4 ? static_cast<std::uint64_t>(100 + j) : 0u;
+            EXPECT_EQ(sys.peek<std::uint64_t>(addrs[j]), expect)
+                << "txn " << j << " after committing txn " << i;
+        }
+        EXPECT_LE(sys.engine().lazyOutstandingCount(), 4u);
+    }
+    EXPECT_EQ(sys.stats().get("txn.idReclaims"),
+              static_cast<std::uint64_t>(rounds - 4));
+
+    // Wraparound left no stale IDs behind: a full flush drains the
+    // remaining four and the data survives a crash.
+    sys.engine().persistAllLazy();
+    sys.crash();
+    sys.recoverHardware();
+    for (int i = 0; i < rounds; ++i)
+        EXPECT_EQ(sys.peek<std::uint64_t>(addrs[i]),
+                  static_cast<std::uint64_t>(100 + i));
+}
+
+TEST(Lazy, SingleIdConfigDegeneratesToEagerFlush)
+{
+    // numTxnIds = 1: every transaction begin must reclaim the single
+    // ID, forcing the previous transaction's lazy data out — lazy
+    // persistency degenerates to an eager flush one transaction late.
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+    cfg.scheme.numTxnIds = 1;
+    PmSystem sys{cfg};
+
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 5; ++i)
+        addrs.push_back(sys.heap().alloc(64));
+
+    for (int i = 0; i < 5; ++i) {
+        sys.txBegin();
+        sys.writeT<std::uint64_t>(addrs[i], 200 + i, lazyLogFree);
+        sys.txCommit();
+        EXPECT_EQ(sys.engine().lazyOutstandingCount(), 1u);
+        if (i > 0) {
+            EXPECT_EQ(sys.peek<std::uint64_t>(addrs[i - 1]),
+                      static_cast<std::uint64_t>(200 + i - 1));
+        }
+    }
+    EXPECT_EQ(sys.stats().get("txn.idReclaims"), 4u);
+}
+
+TEST(Lazy, BloomFalsePositiveForcesHarmlessPersist)
+{
+    // Signatures are Bloom filters: an address that was never in the
+    // working set can still hit. Build a mirror signature with the
+    // same shared hash functions, brute-force a colliding line, and
+    // check the false positive costs only an early (harmless) persist
+    // of the lazy data — never a missed one.
+    PmSystem sys = makeSlpmt();
+    constexpr int lines = 400;
+
+    Signature mirror;
+    std::vector<Addr> addrs;
+    for (int i = 0; i < lines; ++i)
+        addrs.push_back(sys.heap().alloc(cacheLineSize));
+
+    sys.txBegin();
+    for (int i = 0; i < lines; ++i) {
+        sys.writeT<std::uint64_t>(addrs[i], 500 + i, lazyLogFree);
+        mirror.insert(lineBase(addrs[i]));
+    }
+    sys.txCommit();
+    ASSERT_EQ(sys.engine().lazyOutstandingCount(), 1u);
+
+    // Find a line the filter claims to contain but that was never
+    // inserted. With 400 lines in a 2048-bit/4-hash filter the false
+    // positive rate is a few percent, so a bounded scan always finds
+    // one.
+    Addr candidate = 0;
+    for (int tries = 0; tries < 20000; ++tries) {
+        const Addr a = sys.heap().alloc(cacheLineSize);
+        if (mirror.mightContain(lineBase(a))) {
+            candidate = a;
+            break;
+        }
+    }
+    ASSERT_NE(candidate, 0u) << "no Bloom false positive found";
+
+    const auto hits_before = sys.stats().get("txn.signatureHits");
+    sys.write<std::uint64_t>(candidate, 1);
+    EXPECT_GT(sys.stats().get("txn.signatureHits"), hits_before);
+    EXPECT_EQ(sys.engine().lazyOutstandingCount(), 0u);
+    for (int i = 0; i < lines; ++i)
+        EXPECT_EQ(sys.peek<std::uint64_t>(addrs[i]),
+                  static_cast<std::uint64_t>(500 + i));
 }
 
 TEST(Lazy, FourEmptyTransactionsFlushEverything)

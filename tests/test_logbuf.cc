@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "core/pm_system.hh"
 #include "logbuf/log_buffer.hh"
 
 namespace slpmt
@@ -203,6 +204,117 @@ TEST_F(LogBufferTest, ForEachRecordMutates)
     EXPECT_EQ(sink.drained[0].data[0], 0xFF);
 }
 
+TEST_F(LogBufferTest, CoalescedRecordsMeetAcrossTierBoundary)
+{
+    // Two double-word records assembled independently in tier 1 must
+    // recognise each other as buddies of the 32-byte span and promote
+    // to tier 2 — the buddy test has to work on *coalesced* records,
+    // not just raw word insertions.
+    insertWordAt(0x1000, 0xA0);
+    insertWordAt(0x1008, 0xA1);  // -> tier 1 record [0x1000, 2 words]
+    insertWordAt(0x1010, 0xA2);
+    EXPECT_EQ(buf.tier(1).size(), 1u);
+    EXPECT_EQ(buf.tier(0).size(), 1u);
+    insertWordAt(0x1018, 0xA3);  // completes [0x1010, 2] -> tier 2
+    EXPECT_EQ(buf.tier(0).size(), 0u);
+    EXPECT_EQ(buf.tier(1).size(), 0u);
+    ASSERT_EQ(buf.tier(2).size(), 1u);
+    const LogRecord &rec = buf.tier(2)[0];
+    EXPECT_EQ(rec.base, 0x1000u);
+    EXPECT_EQ(rec.words, 4u);
+    for (std::size_t w = 0; w < 4; ++w)
+        EXPECT_EQ(rec.data[w * wordSize],
+                  static_cast<std::uint8_t>(0xA0 + w));
+}
+
+TEST_F(LogBufferTest, InterleavedLinesCoalesceIndependently)
+{
+    // Words of two different cache lines arriving interleaved must
+    // each cascade to their own full-line record; buddy matching may
+    // never mix lines.
+    for (std::size_t w = 0; w < wordsPerLine; ++w) {
+        insertWordAt(0x1000 + w * wordSize,
+                     static_cast<std::uint8_t>(w));
+        insertWordAt(0x2000 + w * wordSize,
+                     static_cast<std::uint8_t>(0x80 + w));
+    }
+    ASSERT_EQ(buf.tier(3).size(), 2u);
+    EXPECT_EQ(buf.tier(0).size() + buf.tier(1).size() +
+                  buf.tier(2).size(),
+              0u);
+    for (const LogRecord &rec : buf.tier(3)) {
+        ASSERT_EQ(rec.words, 8u);
+        const std::uint8_t first =
+            rec.base == 0x1000u ? 0x00 : 0x80;
+        for (std::size_t w = 0; w < wordsPerLine; ++w)
+            EXPECT_EQ(rec.data[w * wordSize],
+                      static_cast<std::uint8_t>(first + w));
+    }
+}
+
+TEST_F(LogBufferTest, MiddleTierOverflowSpillsAtRecordGranularity)
+{
+    // Nine non-coalescable double-word records: the ninth fills tier 1
+    // past capacity and the tier spills to the sink as 2-word records
+    // (24-byte wire size), not as padded full lines.
+    for (int i = 0; i <= 8; ++i) {
+        const Addr base = 0x1000 + static_cast<Addr>(i) * 1024;
+        insertWordAt(base);
+        insertWordAt(base + wordSize);
+    }
+    EXPECT_EQ(sink.drained.size(), LogBuffer::tierCapacity);
+    for (const LogRecord &rec : sink.drained) {
+        EXPECT_EQ(rec.words, 2u);
+        EXPECT_EQ(rec.wireBytes(), 24u);
+    }
+    EXPECT_EQ(buf.tier(1).size(), 1u);
+}
+
+TEST_F(LogBufferTest, TopTierOverflowSpillsFullLineRecords)
+{
+    std::uint8_t line[cacheLineSize];
+    for (int i = 0; i <= 8; ++i) {
+        std::fill(line, line + cacheLineSize,
+                  static_cast<std::uint8_t>(i));
+        buf.insertLine(0x2000 + static_cast<Addr>(i) * cacheLineSize,
+                       line, 0, 1, 0);
+    }
+    ASSERT_EQ(sink.drained.size(), LogBuffer::tierCapacity);
+    for (std::size_t i = 0; i < sink.drained.size(); ++i) {
+        const LogRecord &rec = sink.drained[i];
+        EXPECT_EQ(rec.words, 8u);
+        EXPECT_EQ(rec.wireBytes(), 72u);
+        // Oldest-first spill, data intact.
+        EXPECT_EQ(rec.base, 0x2000u + i * cacheLineSize);
+        EXPECT_EQ(rec.data[0], static_cast<std::uint8_t>(i));
+    }
+}
+
+TEST_F(LogBufferTest, DrainAllPersistsSmallestTierFirst)
+{
+    // One record in every tier; a full drain (the context-switch and
+    // commit path) must emit tier 0 -> tier 3, smallest spans first.
+    insertWordAt(0xA000);
+    insertWordAt(0xB000);
+    insertWordAt(0xB008);
+    for (std::size_t w = 0; w < 4; ++w)
+        insertWordAt(0xC000 + w * wordSize);
+    std::uint8_t line[cacheLineSize] = {};
+    buf.insertLine(0xD000, line, 0, 1, 0);
+
+    buf.drainAll(0);
+    EXPECT_TRUE(buf.empty());
+    ASSERT_EQ(sink.drained.size(), 4u);
+    EXPECT_EQ(sink.drained[0].words, 1u);
+    EXPECT_EQ(sink.drained[0].base, 0xA000u);
+    EXPECT_EQ(sink.drained[1].words, 2u);
+    EXPECT_EQ(sink.drained[1].base, 0xB000u);
+    EXPECT_EQ(sink.drained[2].words, 4u);
+    EXPECT_EQ(sink.drained[2].base, 0xC000u);
+    EXPECT_EQ(sink.drained[3].words, 8u);
+    EXPECT_EQ(sink.drained[3].base, 0xD000u);
+}
+
 /** Property sweep: any set of distinct words per line coalesces into
  *  the minimal buddy decomposition. */
 class LogBufferPatternTest : public ::testing::TestWithParam<std::uint8_t>
@@ -265,6 +377,46 @@ TEST_P(LogBufferPatternTest, BuddyDecompositionIsMinimal)
 
 INSTANTIATE_TEST_SUITE_P(AllMasks, LogBufferPatternTest,
                          ::testing::Range<std::uint8_t>(0, 255));
+
+/**
+ * Section V-C: before a thread is switched out, the kernel drains the
+ * log buffer so a crash while it is descheduled cannot lose undo
+ * records whose data lines might still overflow. The drain appends in
+ * tier order and leaves the records recoverable.
+ */
+TEST(LogBufferContextSwitch, DrainPersistsRecordsBeforeDeschedule)
+{
+    PmSystem sys;
+    TxnEngine &eng = sys.engine();
+    const Addr a = sys.heap().alloc(cacheLineSize);
+    const Addr b = sys.heap().alloc(cacheLineSize);
+
+    sys.txBegin();
+    sys.writeT<std::uint64_t>(a, 0x1111, {});            // 1-word record
+    sys.writeT<std::uint64_t>(b, 0x2222, {});            // buddy pair
+    sys.writeT<std::uint64_t>(b + wordSize, 0x3333, {});
+    ASSERT_FALSE(eng.buffer().empty());
+    const std::uint64_t appended_before =
+        sys.stats().get("undolog.appends");
+
+    eng.contextSwitch();
+    EXPECT_TRUE(eng.buffer().empty());
+    EXPECT_GE(sys.stats().get("undolog.appends"), appended_before + 2);
+
+    // Smallest tiers drain first: the single word precedes the pair.
+    const auto records = eng.logArea().scanValid();
+    ASSERT_GE(records.size(), 2u);
+    EXPECT_EQ(records[records.size() - 2].words, 1u);
+    EXPECT_EQ(records[records.size() - 1].words, 2u);
+
+    // A crash while descheduled must roll the transaction back from
+    // the drained records alone.
+    sys.crash();
+    EXPECT_GE(sys.recoverHardware(), 2u);
+    std::uint64_t val = 0;
+    sys.engine().load(a, &val, sizeof(val));
+    EXPECT_EQ(val, 0u);  // pre-transaction value restored
+}
 
 } // namespace
 } // namespace slpmt
