@@ -10,7 +10,8 @@
  *    FG persisting each record as it is created.
  */
 
-#include "bench_common.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
 
 namespace slpmt
 {
@@ -111,32 +112,9 @@ printLogBuffer()
 } // namespace slpmt
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace slpmt;
-
-    for (const auto &workload : kernelWorkloads()) {
-        for (bool spec : {false, true}) {
-            const std::string name = "ablation/spec_" +
-                                     std::string(spec ? "on" : "off") +
-                                     "/" + workload;
-            benchmark::RegisterBenchmark(
-                name.c_str(), [workload, spec](benchmark::State &s) {
-                    ExperimentResult res;
-                    for (auto _ : s)
-                        res = runWith(workload, SchemeKind::SLPMT, spec,
-                                      4);
-                    s.counters["sim_cycles"] =
-                        static_cast<double>(res.cycles);
-                    s.counters["pm_write_bytes"] =
-                        static_cast<double>(res.pmWriteBytes);
-                    s.counters["verified"] = res.verified ? 1 : 0;
-                })->Iterations(1)->Unit(benchmark::kMillisecond);
-        }
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
 
     printSpeculative();
     printTxnIds();

@@ -15,10 +15,9 @@
  * crash-recovery claims, and reports cycles and PM write traffic.
  */
 
-#include "bench_common.hh"
-
 #include "core/pm_system.hh"
 #include "core/tx.hh"
+#include "sim/report.hh"
 
 namespace slpmt
 {
@@ -195,31 +194,9 @@ runSlpmtInPlace(bool crash_after, std::uint64_t seq_factor,
 } // namespace slpmt
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace slpmt;
-
-    benchmark::RegisterBenchmark(
-        "inplace/conventional", [](benchmark::State &s) {
-            InPlaceResult res;
-            for (auto _ : s)
-                res = runConventional(false, 4, 500);
-            s.counters["sim_cycles"] = static_cast<double>(res.cycles);
-            s.counters["pm_write_bytes"] =
-                static_cast<double>(res.pmBytes);
-        })->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
-        "inplace/slpmt_sectionVA", [](benchmark::State &s) {
-            InPlaceResult res;
-            for (auto _ : s)
-                res = runSlpmtInPlace(false, 4, 500);
-            s.counters["sim_cycles"] = static_cast<double>(res.cycles);
-            s.counters["pm_write_bytes"] =
-                static_cast<double>(res.pmBytes);
-        })->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
 
     // Sweep the device's sequential-over-random write advantage: the
     // strategy converts random commit-path writes into one sequential

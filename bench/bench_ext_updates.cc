@@ -10,7 +10,12 @@
  * its advantage, and this bench quantifies it across schemes.
  */
 
-#include "bench_common.hh"
+#include <map>
+
+#include "core/pm_system.hh"
+#include "sim/report.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
 
 namespace slpmt
 {
@@ -87,31 +92,9 @@ const std::vector<SchemeKind> schemes = {
 } // namespace slpmt
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace slpmt;
-
-    for (const auto &workload : allWorkloads()) {
-        for (SchemeKind scheme : schemes) {
-            const std::string name =
-                "ext_updates/" + caseKey(workload, scheme);
-            benchmark::RegisterBenchmark(
-                name.c_str(),
-                [workload, scheme](benchmark::State &s) {
-                    MixedResult res;
-                    for (auto _ : s)
-                        res = runMixed(workload, scheme, 256);
-                    s.counters["sim_cycles"] =
-                        static_cast<double>(res.cycles);
-                    s.counters["pm_write_bytes"] =
-                        static_cast<double>(res.pmBytes);
-                    s.counters["verified"] = res.verified ? 1 : 0;
-                })->Iterations(1)->Unit(benchmark::kMillisecond);
-        }
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
 
     TableReport table(
         "Extension: 50/50 insert/update mix (256B values), speedup "

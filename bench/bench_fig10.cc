@@ -1,86 +1,13 @@
 /**
  * @file
- * Figure 10: speedup sensitivity to the value size. SLPMT over the FG
- * baseline for value sizes 16..256 bytes on the kernel benchmarks.
- * Paper reference: 1.22x average at 16-byte values, growing with the
- * value size on every benchmark (more log-free bytes per insert).
+ * Figure 10 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig10".
  */
 
-#include "bench_common.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-const std::vector<std::size_t> valueSizes = {16, 32, 64, 128, 256};
-
-void
-registerCases()
-{
-    for (const auto &workload : kernelWorkloads()) {
-        for (std::size_t vs : valueSizes) {
-            for (SchemeKind scheme :
-                 {SchemeKind::FG, SchemeKind::SLPMT}) {
-                ExperimentConfig cfg;
-                cfg.scheme = scheme;
-                cfg.ycsb.numOps = 1000;
-                cfg.ycsb.valueBytes = vs;
-                const std::string key =
-                    caseKey(workload, scheme, std::to_string(vs) + "B");
-                benchmark::RegisterBenchmark(
-                    ("fig10/" + key).c_str(),
-                    [key, workload, cfg](benchmark::State &state) {
-                        runCase(state, key, workload, cfg);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
-}
-
-void
-printFigure()
-{
-    TableReport table("Figure 10: SLPMT speedup over FG vs value size");
-    std::vector<std::string> cols = {"benchmark"};
-    for (std::size_t vs : valueSizes)
-        cols.push_back(std::to_string(vs) + "B");
-    table.header(cols);
-
-    std::map<std::size_t, std::vector<double>> by_size;
-    for (const auto &workload : kernelWorkloads()) {
-        std::vector<std::string> row = {workload};
-        for (std::size_t vs : valueSizes) {
-            const auto suffix = std::to_string(vs) + "B";
-            const auto &base = resultStore().get(
-                caseKey(workload, SchemeKind::FG, suffix));
-            const auto &slpmt = resultStore().get(
-                caseKey(workload, SchemeKind::SLPMT, suffix));
-            const double sp = slpmt.speedupOver(base);
-            by_size[vs].push_back(sp);
-            row.push_back(TableReport::ratio(sp));
-        }
-        table.row(row);
-    }
-    std::vector<std::string> row = {"geomean"};
-    for (std::size_t vs : valueSizes)
-        row.push_back(TableReport::ratio(geomean(by_size[vs])));
-    table.row(row);
-    table.print();
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig10", argc, argv);
 }

@@ -1,94 +1,13 @@
 /**
  * @file
- * Figure 11: PM write-traffic reduction sensitivity to the value
- * size (SLPMT vs the FG baseline, absolute bytes saved and relative
- * reduction). Paper reference: for large values the reduction grows
- * roughly linearly with the value size (value logging dominates);
- * from 16 to 32 bytes it is nearly constant (pointer/counter updates
- * dominate).
+ * Figure 11 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig11".
  */
 
-#include "bench_common.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-const std::vector<std::size_t> valueSizes = {16, 32, 64, 128, 256};
-
-void
-registerCases()
-{
-    for (const auto &workload : kernelWorkloads()) {
-        for (std::size_t vs : valueSizes) {
-            for (SchemeKind scheme :
-                 {SchemeKind::FG, SchemeKind::SLPMT}) {
-                ExperimentConfig cfg;
-                cfg.scheme = scheme;
-                cfg.ycsb.numOps = 1000;
-                cfg.ycsb.valueBytes = vs;
-                const std::string key =
-                    caseKey(workload, scheme, std::to_string(vs) + "B");
-                benchmark::RegisterBenchmark(
-                    ("fig11/" + key).c_str(),
-                    [key, workload, cfg](benchmark::State &state) {
-                        runCase(state, key, workload, cfg);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
-}
-
-void
-printFigure()
-{
-    TableReport rel(
-        "Figure 11: write-traffic reduction (relative) vs value size");
-    TableReport abs(
-        "Figure 11: write-traffic reduction (KB saved) vs value size");
-    std::vector<std::string> cols = {"benchmark"};
-    for (std::size_t vs : valueSizes)
-        cols.push_back(std::to_string(vs) + "B");
-    rel.header(cols);
-    abs.header(cols);
-
-    for (const auto &workload : kernelWorkloads()) {
-        std::vector<std::string> rrow = {workload};
-        std::vector<std::string> arow = {workload};
-        for (std::size_t vs : valueSizes) {
-            const auto suffix = std::to_string(vs) + "B";
-            const auto &base = resultStore().get(
-                caseKey(workload, SchemeKind::FG, suffix));
-            const auto &slpmt = resultStore().get(
-                caseKey(workload, SchemeKind::SLPMT, suffix));
-            rrow.push_back(TableReport::percent(
-                slpmt.trafficReductionOver(base)));
-            const double saved_kb =
-                (static_cast<double>(base.pmWriteBytes) -
-                 static_cast<double>(slpmt.pmWriteBytes)) /
-                1024.0;
-            arow.push_back(TableReport::num(saved_kb));
-        }
-        rel.row(rrow);
-        abs.row(arow);
-    }
-    rel.print();
-    abs.print();
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig11", argc, argv);
 }

@@ -1,90 +1,13 @@
 /**
  * @file
- * Figure 12: speedup sensitivity to the PM media write latency
- * (500 ns Optane-class up to 2300 ns byte-addressable-SSD-class, as
- * CXL enables). Paper reference: gains are largely stable for the
- * benchmarks dominated by the traffic reduction; hashtable, which
- * leans on lazy persistency to move persists off the critical path,
- * is the most latency-sensitive.
+ * Figure 12 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig12".
  */
 
-#include "bench_common.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-const std::vector<std::uint64_t> latenciesNs = {500, 1100, 1700, 2300};
-
-void
-registerCases()
-{
-    for (const auto &workload : kernelWorkloads()) {
-        for (std::uint64_t lat : latenciesNs) {
-            for (SchemeKind scheme :
-                 {SchemeKind::FG, SchemeKind::SLPMT}) {
-                ExperimentConfig cfg;
-                cfg.scheme = scheme;
-                cfg.ycsb.numOps = 1000;
-                cfg.ycsb.valueBytes = 256;
-                cfg.pmWriteLatencyNs = lat;
-                const std::string key = caseKey(
-                    workload, scheme, std::to_string(lat) + "ns");
-                benchmark::RegisterBenchmark(
-                    ("fig12/" + key).c_str(),
-                    [key, workload, cfg](benchmark::State &state) {
-                        runCase(state, key, workload, cfg);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
-}
-
-void
-printFigure()
-{
-    TableReport table(
-        "Figure 12: SLPMT speedup over FG vs PM write latency");
-    std::vector<std::string> cols = {"benchmark"};
-    for (std::uint64_t lat : latenciesNs)
-        cols.push_back(std::to_string(lat) + "ns");
-    table.header(cols);
-
-    std::map<std::uint64_t, std::vector<double>> by_lat;
-    for (const auto &workload : kernelWorkloads()) {
-        std::vector<std::string> row = {workload};
-        for (std::uint64_t lat : latenciesNs) {
-            const auto suffix = std::to_string(lat) + "ns";
-            const auto &base = resultStore().get(
-                caseKey(workload, SchemeKind::FG, suffix));
-            const auto &slpmt = resultStore().get(
-                caseKey(workload, SchemeKind::SLPMT, suffix));
-            const double sp = slpmt.speedupOver(base);
-            by_lat[lat].push_back(sp);
-            row.push_back(TableReport::ratio(sp));
-        }
-        table.row(row);
-    }
-    std::vector<std::string> row = {"geomean"};
-    for (std::uint64_t lat : latenciesNs)
-        row.push_back(TableReport::ratio(geomean(by_lat[lat])));
-    table.row(row);
-    table.print();
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig12", argc, argv);
 }

@@ -1,165 +1,13 @@
 /**
  * @file
- * Figure 13: the compiler pass vs manual annotations.
- *
- * Left: SLPMT speedup over the FG baseline with manually inserted
- * storeT annotations vs with compiler-inferred ones. Paper reference:
- * the compiler achieves similar speedups, finding 16 of the 26
- * manually annotated variables across the kernels (it finds the
- * fresh-allocation log-free stores and a few lazy pointers such as
- * the rbtree parent, but misses colour/counter variables whose
- * justification needs deep semantics — which costs little because
- * those words share cache lines with eagerly persisted data).
- *
- * Right: compile-time overhead of the analysis. Paper reference: up
- * to 23% relative on btree but always under 0.15 s absolute.
+ * Figure 13 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig13".
  */
 
-#include "bench_common.hh"
-
-#include "compiler/compiler_policy.hh"
-#include "core/pm_system.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-std::vector<std::string>
-fig13Workloads()
-{
-    auto names = kernelWorkloads();
-    names.push_back("kv-btree");
-    return names;
-}
-
-/** clang -O2 baseline build time per benchmark, seconds (modelled). */
-double
-baselineCompileSec(const std::string &workload)
-{
-    if (workload == "kv-btree")
-        return 0.65;  // the paper's largest relative overhead case
-    if (workload == "hashtable")
-        return 1.9;
-    if (workload == "rbtree")
-        return 2.3;
-    if (workload == "heap")
-        return 1.4;
-    return 1.8;  // avl
-}
-
-void
-registerCases()
-{
-    for (const auto &workload : fig13Workloads()) {
-        struct Mode
-        {
-            AnnotationMode mode;
-            SchemeKind scheme;
-            const char *tag;
-        };
-        const Mode modes[] = {
-            {AnnotationMode::Manual, SchemeKind::FG, "base"},
-            {AnnotationMode::Manual, SchemeKind::SLPMT, "manual"},
-            {AnnotationMode::Compiler, SchemeKind::SLPMT, "compiler"},
-        };
-        for (const Mode &m : modes) {
-            ExperimentConfig cfg;
-            cfg.scheme = m.scheme;
-            cfg.annotations = m.mode;
-            cfg.ycsb.numOps = 1000;
-            cfg.ycsb.valueBytes = 256;
-            const std::string key = caseKey(workload, m.scheme, m.tag);
-            benchmark::RegisterBenchmark(
-                ("fig13/" + key).c_str(),
-                [key, workload, cfg](benchmark::State &state) {
-                    runCase(state, key, workload, cfg);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
-}
-
-void
-printFigure()
-{
-    TableReport speedup(
-        "Figure 13 (left): speedup over FG, manual vs compiler "
-        "annotations");
-    speedup.header({"benchmark", "manual", "compiler"});
-    std::vector<double> manual_all;
-    std::vector<double> compiler_all;
-    for (const auto &workload : fig13Workloads()) {
-        const auto &base = resultStore().get(
-            caseKey(workload, SchemeKind::FG, "base"));
-        const auto &manual = resultStore().get(
-            caseKey(workload, SchemeKind::SLPMT, "manual"));
-        const auto &compiler = resultStore().get(
-            caseKey(workload, SchemeKind::SLPMT, "compiler"));
-        const double sm = manual.speedupOver(base);
-        const double sc = compiler.speedupOver(base);
-        manual_all.push_back(sm);
-        compiler_all.push_back(sc);
-        speedup.row({workload, TableReport::ratio(sm),
-                     TableReport::ratio(sc)});
-    }
-    speedup.row({"geomean", TableReport::ratio(geomean(manual_all)),
-                 TableReport::ratio(geomean(compiler_all))});
-    speedup.print();
-
-    // Annotation coverage (the 16-of-26 observation).
-    TableReport coverage("Figure 13: compiler annotation coverage");
-    coverage.header({"benchmark", "manual sites", "compiler found",
-                     "missed (deep semantics)"});
-    std::size_t total_manual = 0;
-    std::size_t total_found = 0;
-    for (const auto &workload : kernelWorkloads()) {
-        PmSystem sys{SystemConfig{}};
-        auto w = makeWorkload(workload);
-        w->setup(sys);
-        const AnnotationReport report = compareAnnotations(sys.sites());
-        total_manual += report.manualAnnotated;
-        total_found += report.compilerFound;
-        coverage.row({workload,
-                      TableReport::integer(report.manualAnnotated),
-                      TableReport::integer(report.compilerFound),
-                      TableReport::integer(report.missed)});
-    }
-    coverage.row({"total (paper: 16 of 26)",
-                  TableReport::integer(total_manual),
-                  TableReport::integer(total_found),
-                  TableReport::integer(total_manual - total_found)});
-    coverage.print();
-
-    // Compile time (Figure 13 right).
-    TableReport compile(
-        "Figure 13 (right): compile time with the storeT pass");
-    compile.header({"benchmark", "baseline (s)", "with pass (s)",
-                    "overhead"});
-    for (const auto &workload : fig13Workloads()) {
-        PmSystem sys{SystemConfig{}};
-        auto w = makeWorkload(workload);
-        w->setup(sys);
-        const CompileTimeEstimate est = estimateCompileTime(
-            sys.sites(), baselineCompileSec(workload));
-        compile.row({workload, TableReport::num(est.baselineSec),
-                     TableReport::num(est.withAnalysisSec),
-                     TableReport::percent(est.overheadFraction())});
-    }
-    compile.print();
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig13", argc, argv);
 }

@@ -1,121 +1,13 @@
 /**
  * @file
- * Figure 14: the PMKV application with btree/ctree/rtree backends at
- * 256-byte (left) and 16-byte (right) values. Paper reference points:
- * SLPMT beats EDE by 1.35-1.87x and ATOM by 1.4-2x at 256 B; it
- * reduces baseline write traffic by 32.6-47.6%, with the largest
- * traffic cut on kv-rtree but the highest speedup on kv-ctree; at
- * 16 B it still beats EDE/ATOM by 1.35x/1.58x on average, with
- * selective logging adding ~26% on top of fine-grain logging.
+ * Figure 14 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig14".
  */
 
-#include "bench_common.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-const std::vector<SchemeKind> schemes = {
-    SchemeKind::FG, SchemeKind::SLPMT, SchemeKind::ATOM, SchemeKind::EDE};
-const std::vector<std::size_t> valueSizes = {256, 16};
-
-void
-registerCases()
-{
-    for (const auto &workload : kvWorkloads()) {
-        for (std::size_t vs : valueSizes) {
-            for (SchemeKind scheme : schemes) {
-                ExperimentConfig cfg;
-                cfg.scheme = scheme;
-                cfg.ycsb.numOps = 1000;
-                cfg.ycsb.valueBytes = vs;
-                const std::string key =
-                    caseKey(workload, scheme, std::to_string(vs) + "B");
-                benchmark::RegisterBenchmark(
-                    ("fig14/" + key).c_str(),
-                    [key, workload, cfg](benchmark::State &state) {
-                        runCase(state, key, workload, cfg);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
-}
-
-void
-printFigure()
-{
-    for (std::size_t vs : valueSizes) {
-        const auto suffix = std::to_string(vs) + "B";
-        TableReport table("Figure 14 (" + suffix +
-                          " values): speedup over FG baseline");
-        std::vector<std::string> cols = {"benchmark"};
-        for (SchemeKind s : schemes)
-            cols.push_back(schemeName(s));
-        cols.push_back("traffic cut (SLPMT)");
-        table.header(cols);
-
-        std::map<SchemeKind, std::vector<double>> all;
-        for (const auto &workload : kvWorkloads()) {
-            const auto &base = resultStore().get(
-                caseKey(workload, SchemeKind::FG, suffix));
-            std::vector<std::string> row = {workload};
-            for (SchemeKind s : schemes) {
-                const auto &res =
-                    resultStore().get(caseKey(workload, s, suffix));
-                const double sp = res.speedupOver(base);
-                all[s].push_back(sp);
-                row.push_back(TableReport::ratio(sp));
-            }
-            const auto &slpmt = resultStore().get(
-                caseKey(workload, SchemeKind::SLPMT, suffix));
-            row.push_back(TableReport::percent(
-                slpmt.trafficReductionOver(base)));
-            table.row(row);
-        }
-        std::vector<std::string> row = {"geomean"};
-        for (SchemeKind s : schemes)
-            row.push_back(TableReport::ratio(geomean(all[s])));
-        table.row(row);
-        table.print();
-
-        TableReport vs_prior("Figure 14 (" + suffix +
-                             "): SLPMT vs prior hardware designs");
-        vs_prior.header({"benchmark", "vs ATOM", "vs EDE"});
-        std::vector<double> vs_atom;
-        std::vector<double> vs_ede;
-        for (const auto &workload : kvWorkloads()) {
-            const auto &slpmt = resultStore().get(
-                caseKey(workload, SchemeKind::SLPMT, suffix));
-            const auto &atom = resultStore().get(
-                caseKey(workload, SchemeKind::ATOM, suffix));
-            const auto &ede = resultStore().get(
-                caseKey(workload, SchemeKind::EDE, suffix));
-            const double a = slpmt.speedupOver(atom);
-            const double e = slpmt.speedupOver(ede);
-            vs_atom.push_back(a);
-            vs_ede.push_back(e);
-            vs_prior.row({workload, TableReport::ratio(a),
-                          TableReport::ratio(e)});
-        }
-        vs_prior.row({"geomean", TableReport::ratio(geomean(vs_atom)),
-                      TableReport::ratio(geomean(vs_ede))});
-        vs_prior.print();
-    }
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig14", argc, argv);
 }

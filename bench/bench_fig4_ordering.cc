@@ -6,9 +6,8 @@
  * ledger, verifies the constraints, and prints the observed order.
  */
 
-#include "bench_common.hh"
-
 #include "core/pm_system.hh"
+#include "sim/report.hh"
 
 namespace slpmt
 {
@@ -92,25 +91,9 @@ runOne(LoggingStyle style)
 } // namespace slpmt
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace slpmt;
-
-    for (LoggingStyle style : {LoggingStyle::Undo, LoggingStyle::Redo}) {
-        const char *tag =
-            style == LoggingStyle::Undo ? "fig4/undo" : "fig4/redo";
-        benchmark::RegisterBenchmark(tag, [style](benchmark::State &s) {
-            OrderResult res;
-            for (auto _ : s)
-                res = runOne(style);
-            s.counters["persist_events"] =
-                static_cast<double>(res.ledger.size());
-            s.counters["constraints_hold"] = res.constraintsHold ? 1 : 0;
-        })->Iterations(1);
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
 
     bool all_ok = true;
     for (LoggingStyle style : {LoggingStyle::Undo, LoggingStyle::Redo}) {

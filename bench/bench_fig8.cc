@@ -1,130 +1,13 @@
 /**
  * @file
- * Figure 8: kernel-benchmark speedups over the FG baseline (left) and
- * PM write-traffic reduction over the baseline (right), for FG+LG,
- * FG+LZ, SLPMT, ATOM, and EDE, on the ycsb-load workload (1,000
- * inserts, 8-byte keys, 256-byte values).
- *
- * Paper reference points: SLPMT averages 1.57x over FG, 1.65x over
- * ATOM, 1.78x over EDE; 35% write-traffic reduction over FG;
- * hashtable gains 17% from lazy persistency alone, 24% from log-free
- * alone, 52% combined; FG itself beats ATOM by 1.05x and EDE by
- * 1.13x.
+ * Figure 8 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig8".
  */
 
-#include "bench_common.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-const std::vector<SchemeKind> schemes = {
-    SchemeKind::FG,   SchemeKind::FG_LG, SchemeKind::FG_LZ,
-    SchemeKind::SLPMT, SchemeKind::ATOM,  SchemeKind::EDE,
-};
-
-void
-registerCases()
-{
-    for (const auto &workload : kernelWorkloads()) {
-        for (SchemeKind scheme : schemes) {
-            ExperimentConfig cfg;
-            cfg.scheme = scheme;
-            cfg.ycsb.numOps = 1000;
-            cfg.ycsb.valueBytes = 256;
-            const std::string key = caseKey(workload, scheme);
-            benchmark::RegisterBenchmark(
-                ("fig8/" + key).c_str(),
-                [key, workload, cfg](benchmark::State &state) {
-                    runCase(state, key, workload, cfg);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
-}
-
-void
-printFigure()
-{
-    TableReport speedup("Figure 8 (left): speedup over FG baseline");
-    TableReport traffic(
-        "Figure 8 (right): PM write-traffic reduction over FG baseline");
-    std::vector<std::string> cols = {"benchmark"};
-    for (SchemeKind s : schemes)
-        cols.push_back(schemeName(s));
-    speedup.header(cols);
-    traffic.header(cols);
-
-    std::map<SchemeKind, std::vector<double>> all_speedups;
-    std::map<SchemeKind, std::vector<double>> all_traffic;
-
-    for (const auto &workload : kernelWorkloads()) {
-        const auto &base =
-            resultStore().get(caseKey(workload, SchemeKind::FG));
-        std::vector<std::string> srow = {workload};
-        std::vector<std::string> trow = {workload};
-        for (SchemeKind s : schemes) {
-            const auto &res = resultStore().get(caseKey(workload, s));
-            const double sp = base.cycles
-                                  ? static_cast<double>(base.cycles) /
-                                        static_cast<double>(res.cycles)
-                                  : 0;
-            const double tr = res.trafficReductionOver(base);
-            srow.push_back(TableReport::ratio(sp));
-            trow.push_back(TableReport::percent(tr));
-            all_speedups[s].push_back(sp);
-            all_traffic[s].push_back(tr);
-        }
-        speedup.row(srow);
-        traffic.row(trow);
-    }
-
-    std::vector<std::string> srow = {"geomean"};
-    std::vector<std::string> trow = {"mean"};
-    for (SchemeKind s : schemes) {
-        srow.push_back(TableReport::ratio(geomean(all_speedups[s])));
-        double sum = 0;
-        for (double v : all_traffic[s])
-            sum += v;
-        trow.push_back(TableReport::percent(
-            sum / static_cast<double>(all_traffic[s].size())));
-    }
-    speedup.row(srow);
-    traffic.row(trow);
-    speedup.print();
-    traffic.print();
-
-    // Headline cross-scheme ratios (Section VI-D).
-    TableReport headline("Section VI-D headline: SLPMT vs prior designs");
-    headline.header({"comparison", "geomean speedup"});
-    for (SchemeKind other :
-         {SchemeKind::FG, SchemeKind::ATOM, SchemeKind::EDE}) {
-        std::vector<double> ratios;
-        for (const auto &workload : kernelWorkloads()) {
-            const auto &slpmt =
-                resultStore().get(caseKey(workload, SchemeKind::SLPMT));
-            const auto &o = resultStore().get(caseKey(workload, other));
-            ratios.push_back(static_cast<double>(o.cycles) /
-                             static_cast<double>(slpmt.cycles));
-        }
-        headline.row({"SLPMT vs " + schemeName(other),
-                      TableReport::ratio(geomean(ratios))});
-    }
-    headline.print();
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig8", argc, argv);
 }

@@ -1,89 +1,13 @@
 /**
  * @file
- * Figure 9: SLPMT logging at cache-line granularity. The baseline
- * here is line-granularity hardware logging without selective
- * features (the ATOM configuration); SLPMT-CL adds log-free and lazy
- * persistency on top. Paper reference: 1.27x speedup, and the
- * featureless hardware incurs ~15% more write traffic.
+ * Figure 9 wrapper: the sweep and table live in the figure registry
+ * (src/sim/figures.cc); this binary just selects "fig9".
  */
 
-#include "bench_common.hh"
-
-namespace slpmt
-{
-namespace
-{
-
-const std::vector<SchemeKind> schemes = {SchemeKind::ATOM,
-                                         SchemeKind::SLPMT_CL};
-
-void
-registerCases()
-{
-    for (const auto &workload : kernelWorkloads()) {
-        for (SchemeKind scheme : schemes) {
-            ExperimentConfig cfg;
-            cfg.scheme = scheme;
-            cfg.ycsb.numOps = 1000;
-            cfg.ycsb.valueBytes = 256;
-            const std::string key = caseKey(workload, scheme);
-            benchmark::RegisterBenchmark(
-                ("fig9/" + key).c_str(),
-                [key, workload, cfg](benchmark::State &state) {
-                    runCase(state, key, workload, cfg);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
-}
-
-void
-printFigure()
-{
-    TableReport table(
-        "Figure 9: cache-line-granularity SLPMT vs featureless "
-        "line-granularity baseline");
-    table.header({"benchmark", "SLPMT-CL speedup",
-                  "extra traffic without features"});
-    std::vector<double> speedups;
-    std::vector<double> extra;
-    for (const auto &workload : kernelWorkloads()) {
-        const auto &base =
-            resultStore().get(caseKey(workload, SchemeKind::ATOM));
-        const auto &cl =
-            resultStore().get(caseKey(workload, SchemeKind::SLPMT_CL));
-        const double sp = cl.speedupOver(base);
-        const double ex = cl.pmWriteBytes
-                              ? static_cast<double>(base.pmWriteBytes) /
-                                        static_cast<double>(
-                                            cl.pmWriteBytes) -
-                                    1.0
-                              : 0;
-        speedups.push_back(sp);
-        extra.push_back(ex);
-        table.row({workload, TableReport::ratio(sp),
-                   TableReport::percent(ex)});
-    }
-    double mean_extra = 0;
-    for (double e : extra)
-        mean_extra += e;
-    mean_extra /= static_cast<double>(extra.size());
-    table.row({"geomean/mean", TableReport::ratio(geomean(speedups)),
-               TableReport::percent(mean_extra)});
-    table.print();
-}
-
-} // namespace
-} // namespace slpmt
+#include "sim/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    slpmt::registerCases();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    slpmt::printFigure();
-    return slpmt::verifyAllOrFail();
+    return slpmt::runFigureMain("fig9", argc, argv);
 }

@@ -7,9 +7,8 @@
  * a lazy storeT additionally removes the line from the commit scan).
  */
 
-#include "bench_common.hh"
-
 #include "core/pm_system.hh"
+#include "sim/report.hh"
 
 namespace slpmt
 {
@@ -88,27 +87,9 @@ measure(const Form &form)
 } // namespace slpmt
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace slpmt;
-
-    // Register the forms as benchmark cases as well.
-    for (const Form &form : forms) {
-        benchmark::RegisterBenchmark(
-            (std::string("table1/") + form.name).c_str(),
-            [form](benchmark::State &state) {
-                FormResult res;
-                for (auto _ : state)
-                    res = measure(form);
-                state.counters["cycles_per_store"] = res.cyclesPerStore;
-                state.counters["commit_cycles"] = res.commitCycles;
-                state.counters["bits_ok"] = res.bitsOk ? 1 : 0;
-            })
-            ->Iterations(1);
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
 
     TableReport table("Table I: store/storeT semantics and cost");
     table.header({"instruction", "persist bit", "log bit", "bits ok",

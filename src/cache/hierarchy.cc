@@ -21,7 +21,8 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
       statL3Hits(stats.counter("cache.l3Hits")),
       statL3Misses(stats.counter("cache.l3Misses")),
       statWritebacks(stats.counter("cache.writebacks")),
-      statPrivateEvictions(stats.counter("cache.privateEvictions"))
+      statPrivateEvictions(stats.counter("cache.privateEvictions")),
+      statLogBitAggrLossy(stats.counter("cache.logBitAggrLossy"))
 {
 }
 
@@ -155,6 +156,8 @@ CacheHierarchy::evictFromL1(CacheLine &victim, Cycles now)
     }
 
     // Merge data and metadata down (aggregate by conjunction).
+    if (replicateLogBits(aggregateLogBits(log_bits)) != log_bits)
+        statLogBitAggrLossy++;
     l2_line->data = victim.data;
     l2_line->dirty = l2_line->dirty || victim.dirty;
     if (victim.dirty)

@@ -25,7 +25,7 @@
 #include <functional>
 
 #include "cache/cache.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "mem/address_map.hh"
 #include "mem/dram_device.hh"
 #include "mem/pm_device.hh"
@@ -172,6 +172,10 @@ class CacheHierarchy
     StatsRegistry::Counter statL3Misses;
     StatsRegistry::Counter statWritebacks;
     StatsRegistry::Counter statPrivateEvictions;
+
+    /** L1→L2 evictions where aggregating the word-granularity log map
+     *  by conjunction zeroed a partially-logged group (III-B1). */
+    StatsRegistry::Counter statLogBitAggrLossy;
 };
 
 } // namespace slpmt

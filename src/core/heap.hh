@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "common/types.hh"
 
 namespace slpmt

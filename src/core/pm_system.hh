@@ -17,7 +17,7 @@
 #include <type_traits>
 
 #include "cache/hierarchy.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "core/annotation.hh"
 #include "core/heap.hh"
 #include "mem/address_map.hh"

@@ -71,6 +71,8 @@ LogBuffer::insertAtTier(std::size_t t, LogRecord rec, Cycles now)
         }
     }
 
+    statTierRecords[t]++;
+
     // No coalescing opportunity: drain the tier if it is full.
     if (tier.size() >= tierCapacity) {
         statTierDrains++;
@@ -87,6 +89,8 @@ LogBuffer::persist(const LogRecord &rec, Cycles now)
 {
     panicIfNot(sink != nullptr, "log buffer has no drain sink");
     statRecordsPersisted++;
+    statDrainedWireBytes += rec.wireBytes();
+    statDrainedWords.record(rec.words);
     return sink->persistRecord(rec, now);
 }
 

@@ -21,7 +21,7 @@
 #include <functional>
 #include <vector>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "logbuf/log_record.hh"
 
 namespace slpmt
@@ -49,12 +49,23 @@ class LogBuffer
     static constexpr Cycles insertLatency = 1;
 
     explicit LogBuffer(StatsRegistry &stats)
-        : statInserts(stats.counter("logbuf.inserts")),
-          statCoalesces(stats.counter("logbuf.coalesces")),
-          statTierDrains(stats.counter("logbuf.tierDrains")),
-          statRecordsPersisted(stats.counter("logbuf.recordsPersisted")),
-          statRecordsDiscarded(stats.counter("logbuf.recordsDiscarded"))
+        : LogBuffer(StatGroup(stats, "logbuf"))
     {
+    }
+
+    explicit LogBuffer(const StatGroup &stats)
+        : statInserts(stats.counter("inserts")),
+          statCoalesces(stats.counter("coalesces")),
+          statTierDrains(stats.counter("tierDrains")),
+          statRecordsPersisted(stats.counter("recordsPersisted")),
+          statRecordsDiscarded(stats.counter("recordsDiscarded")),
+          statDrainedWireBytes(stats.counter("drainedWireBytes")),
+          statDrainedWords(stats.histogram("drainedWords", {1, 2, 4, 8}))
+    {
+        for (std::size_t t = 0; t < tierCount; ++t) {
+            statTierRecords[t] =
+                stats.counter("tier" + std::to_string(t) + ".records");
+        }
     }
 
     void setSink(LogDrainSink *s) { sink = s; }
@@ -146,6 +157,9 @@ class LogBuffer
     StatsRegistry::Counter statTierDrains;
     StatsRegistry::Counter statRecordsPersisted;
     StatsRegistry::Counter statRecordsDiscarded;
+    StatsRegistry::Counter statDrainedWireBytes;
+    StatsRegistry::Histogram statDrainedWords;
+    std::array<StatsRegistry::Counter, tierCount> statTierRecords;
 };
 
 } // namespace slpmt

@@ -13,7 +13,7 @@
 
 #include <cstdint>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "common/types.hh"
 #include "mem/paged_memory.hh"
 

@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <deque>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "common/types.hh"
 #include "mem/paged_memory.hh"
 #include "mem/persist_tracker.hh"
@@ -87,7 +87,9 @@ class PmDevice
           statWpqStalls(stats.counter("pm.wpqStalls")),
           statWpqStallCycles(stats.counter("pm.wpqStallCycles")),
           statWpqCoalesced(stats.counter("pm.wpqCoalesced")),
-          statReads(stats.counter("pm.reads"))
+          statReads(stats.counter("pm.reads")),
+          statWpqOccupancy(
+              stats.histogram("pm.wpqOccupancy", {1, 2, 4, 6, 8}))
     {
     }
 
@@ -213,6 +215,7 @@ class PmDevice
     {
         statBytesWritten += traffic_bytes;
         statLineWrites += lines;
+        statWpqOccupancy.record(pending.size());
 
         const Cycles write_lat = nsToCycles(config.writeLatencyNs);
         // The media initiates a new line write every interval (bank
@@ -287,6 +290,7 @@ class PmDevice
     StatsRegistry::Counter statWpqStallCycles;
     StatsRegistry::Counter statWpqCoalesced;
     StatsRegistry::Counter statReads;
+    StatsRegistry::Histogram statWpqOccupancy; //!< depth seen at enqueue
 };
 
 } // namespace slpmt

@@ -57,6 +57,7 @@ runExperiment(const std::string &workload_name,
     result.pmLogBytes = get("pm.logBytesWritten");
     result.commits = get("txn.committed");
     result.logRecords = get("txn.logRecordsCreated");
+    result.stats = delta;
 
     // Verification phase (outside the measured window).
     result.verified = true;

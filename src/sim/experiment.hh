@@ -59,6 +59,9 @@ struct ExperimentResult
     bool verified = false;      //!< lookups + invariants passed
     std::string failure;        //!< diagnostic when !verified
 
+    /** Full flattened stats delta of the measured window. */
+    StatsSnapshot stats;
+
     double
     speedupOver(const ExperimentResult &base) const
     {

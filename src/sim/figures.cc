@@ -1,0 +1,787 @@
+#include "sim/figures.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "compiler/compiler_policy.hh"
+#include "core/pm_system.hh"
+#include "sim/report.hh"
+#include "workloads/factory.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+// -------------------------------------------------------------------
+// Figure 8: kernel speedups and traffic reduction over FG
+// -------------------------------------------------------------------
+
+const std::vector<SchemeKind> fig8Schemes = {
+    SchemeKind::FG,    SchemeKind::FG_LG, SchemeKind::FG_LZ,
+    SchemeKind::SLPMT, SchemeKind::ATOM,  SchemeKind::EDE,
+};
+
+std::vector<ExperimentCase>
+fig8Cases()
+{
+    MatrixSpec spec;
+    spec.workloads = kernelWorkloads();
+    spec.schemes = fig8Schemes;
+    return expandMatrix(spec);
+}
+
+void
+fig8Print(const MatrixResult &res)
+{
+    TableReport speedup("Figure 8 (left): speedup over FG baseline");
+    TableReport traffic(
+        "Figure 8 (right): PM write-traffic reduction over FG baseline");
+    std::vector<std::string> cols = {"benchmark"};
+    for (SchemeKind s : fig8Schemes)
+        cols.push_back(schemeName(s));
+    speedup.header(cols);
+    traffic.header(cols);
+
+    std::map<SchemeKind, std::vector<double>> all_speedups;
+    std::map<SchemeKind, std::vector<double>> all_traffic;
+
+    for (const auto &workload : kernelWorkloads()) {
+        const auto &base = res.get(caseKey(workload, SchemeKind::FG));
+        std::vector<std::string> srow = {workload};
+        std::vector<std::string> trow = {workload};
+        for (SchemeKind s : fig8Schemes) {
+            const auto &cell = res.get(caseKey(workload, s));
+            const double sp = cell.cycles
+                                  ? static_cast<double>(base.cycles) /
+                                        static_cast<double>(cell.cycles)
+                                  : 0;
+            const double tr = cell.trafficReductionOver(base);
+            srow.push_back(TableReport::ratio(sp));
+            trow.push_back(TableReport::percent(tr));
+            all_speedups[s].push_back(sp);
+            all_traffic[s].push_back(tr);
+        }
+        speedup.row(srow);
+        traffic.row(trow);
+    }
+
+    std::vector<std::string> srow = {"geomean"};
+    std::vector<std::string> trow = {"mean"};
+    for (SchemeKind s : fig8Schemes) {
+        srow.push_back(TableReport::ratio(geomean(all_speedups[s])));
+        double sum = 0;
+        for (double v : all_traffic[s])
+            sum += v;
+        trow.push_back(TableReport::percent(
+            sum / static_cast<double>(all_traffic[s].size())));
+    }
+    speedup.row(srow);
+    traffic.row(trow);
+    speedup.print();
+    traffic.print();
+
+    // Headline cross-scheme ratios (Section VI-D).
+    TableReport headline("Section VI-D headline: SLPMT vs prior designs");
+    headline.header({"comparison", "geomean speedup"});
+    for (SchemeKind other :
+         {SchemeKind::FG, SchemeKind::ATOM, SchemeKind::EDE}) {
+        std::vector<double> ratios;
+        for (const auto &workload : kernelWorkloads()) {
+            const auto &slpmt =
+                res.get(caseKey(workload, SchemeKind::SLPMT));
+            const auto &o = res.get(caseKey(workload, other));
+            ratios.push_back(static_cast<double>(o.cycles) /
+                             static_cast<double>(slpmt.cycles));
+        }
+        headline.row({"SLPMT vs " + schemeName(other),
+                      TableReport::ratio(geomean(ratios))});
+    }
+    headline.print();
+}
+
+// -------------------------------------------------------------------
+// Figure 9: cache-line-granularity SLPMT vs featureless baseline
+// -------------------------------------------------------------------
+
+std::vector<ExperimentCase>
+fig9Cases()
+{
+    MatrixSpec spec;
+    spec.workloads = kernelWorkloads();
+    spec.schemes = {SchemeKind::ATOM, SchemeKind::SLPMT_CL};
+    return expandMatrix(spec);
+}
+
+void
+fig9Print(const MatrixResult &res)
+{
+    TableReport table(
+        "Figure 9: cache-line-granularity SLPMT vs featureless "
+        "line-granularity baseline");
+    table.header({"benchmark", "SLPMT-CL speedup",
+                  "extra traffic without features"});
+    std::vector<double> speedups;
+    std::vector<double> extra;
+    for (const auto &workload : kernelWorkloads()) {
+        const auto &base = res.get(caseKey(workload, SchemeKind::ATOM));
+        const auto &cl =
+            res.get(caseKey(workload, SchemeKind::SLPMT_CL));
+        const double sp = cl.speedupOver(base);
+        const double ex =
+            cl.pmWriteBytes
+                ? static_cast<double>(base.pmWriteBytes) /
+                          static_cast<double>(cl.pmWriteBytes) -
+                      1.0
+                : 0;
+        speedups.push_back(sp);
+        extra.push_back(ex);
+        table.row({workload, TableReport::ratio(sp),
+                   TableReport::percent(ex)});
+    }
+    double mean_extra = 0;
+    for (double e : extra)
+        mean_extra += e;
+    mean_extra /= static_cast<double>(extra.size());
+    table.row({"geomean/mean", TableReport::ratio(geomean(speedups)),
+               TableReport::percent(mean_extra)});
+    table.print();
+}
+
+// -------------------------------------------------------------------
+// Figures 10/11: value-size sensitivity (speedup / traffic)
+// -------------------------------------------------------------------
+
+const std::vector<std::size_t> valueSizeSweep = {16, 32, 64, 128, 256};
+
+std::vector<ExperimentCase>
+valueSizeCases()
+{
+    MatrixSpec spec;
+    spec.workloads = kernelWorkloads();
+    spec.schemes = {SchemeKind::FG, SchemeKind::SLPMT};
+    spec.valueSizes = valueSizeSweep;
+    return expandMatrix(spec);
+}
+
+void
+fig10Print(const MatrixResult &res)
+{
+    TableReport table("Figure 10: SLPMT speedup over FG vs value size");
+    std::vector<std::string> cols = {"benchmark"};
+    for (std::size_t vs : valueSizeSweep)
+        cols.push_back(std::to_string(vs) + "B");
+    table.header(cols);
+
+    std::map<std::size_t, std::vector<double>> by_size;
+    for (const auto &workload : kernelWorkloads()) {
+        std::vector<std::string> row = {workload};
+        for (std::size_t vs : valueSizeSweep) {
+            const auto suffix = std::to_string(vs) + "B";
+            const auto &base =
+                res.get(caseKey(workload, SchemeKind::FG, suffix));
+            const auto &slpmt =
+                res.get(caseKey(workload, SchemeKind::SLPMT, suffix));
+            const double sp = slpmt.speedupOver(base);
+            by_size[vs].push_back(sp);
+            row.push_back(TableReport::ratio(sp));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> row = {"geomean"};
+    for (std::size_t vs : valueSizeSweep)
+        row.push_back(TableReport::ratio(geomean(by_size[vs])));
+    table.row(row);
+    table.print();
+}
+
+void
+fig11Print(const MatrixResult &res)
+{
+    TableReport rel(
+        "Figure 11: write-traffic reduction (relative) vs value size");
+    TableReport abs(
+        "Figure 11: write-traffic reduction (KB saved) vs value size");
+    std::vector<std::string> cols = {"benchmark"};
+    for (std::size_t vs : valueSizeSweep)
+        cols.push_back(std::to_string(vs) + "B");
+    rel.header(cols);
+    abs.header(cols);
+
+    for (const auto &workload : kernelWorkloads()) {
+        std::vector<std::string> rrow = {workload};
+        std::vector<std::string> arow = {workload};
+        for (std::size_t vs : valueSizeSweep) {
+            const auto suffix = std::to_string(vs) + "B";
+            const auto &base =
+                res.get(caseKey(workload, SchemeKind::FG, suffix));
+            const auto &slpmt =
+                res.get(caseKey(workload, SchemeKind::SLPMT, suffix));
+            rrow.push_back(
+                TableReport::percent(slpmt.trafficReductionOver(base)));
+            const double saved_kb =
+                (static_cast<double>(base.pmWriteBytes) -
+                 static_cast<double>(slpmt.pmWriteBytes)) /
+                1024.0;
+            arow.push_back(TableReport::num(saved_kb));
+        }
+        rel.row(rrow);
+        abs.row(arow);
+    }
+    rel.print();
+    abs.print();
+}
+
+// -------------------------------------------------------------------
+// Figure 12: PM write-latency sensitivity
+// -------------------------------------------------------------------
+
+const std::vector<std::uint64_t> latencySweepNs = {500, 1100, 1700,
+                                                   2300};
+
+std::vector<ExperimentCase>
+fig12Cases()
+{
+    MatrixSpec spec;
+    spec.workloads = kernelWorkloads();
+    spec.schemes = {SchemeKind::FG, SchemeKind::SLPMT};
+    spec.pmWriteLatenciesNs = latencySweepNs;
+    return expandMatrix(spec);
+}
+
+void
+fig12Print(const MatrixResult &res)
+{
+    TableReport table(
+        "Figure 12: SLPMT speedup over FG vs PM write latency");
+    std::vector<std::string> cols = {"benchmark"};
+    for (std::uint64_t lat : latencySweepNs)
+        cols.push_back(std::to_string(lat) + "ns");
+    table.header(cols);
+
+    std::map<std::uint64_t, std::vector<double>> by_lat;
+    for (const auto &workload : kernelWorkloads()) {
+        std::vector<std::string> row = {workload};
+        for (std::uint64_t lat : latencySweepNs) {
+            const auto suffix = std::to_string(lat) + "ns";
+            const auto &base =
+                res.get(caseKey(workload, SchemeKind::FG, suffix));
+            const auto &slpmt =
+                res.get(caseKey(workload, SchemeKind::SLPMT, suffix));
+            const double sp = slpmt.speedupOver(base);
+            by_lat[lat].push_back(sp);
+            row.push_back(TableReport::ratio(sp));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> row = {"geomean"};
+    for (std::uint64_t lat : latencySweepNs)
+        row.push_back(TableReport::ratio(geomean(by_lat[lat])));
+    table.row(row);
+    table.print();
+}
+
+// -------------------------------------------------------------------
+// Figure 13: compiler pass vs manual annotations
+// -------------------------------------------------------------------
+
+std::vector<std::string>
+fig13Workloads()
+{
+    auto names = kernelWorkloads();
+    names.push_back("kv-btree");
+    return names;
+}
+
+/** clang -O2 baseline build time per benchmark, seconds (modelled). */
+double
+baselineCompileSec(const std::string &workload)
+{
+    if (workload == "kv-btree")
+        return 0.65;  // the paper's largest relative overhead case
+    if (workload == "hashtable")
+        return 1.9;
+    if (workload == "rbtree")
+        return 2.3;
+    if (workload == "heap")
+        return 1.4;
+    return 1.8;  // avl
+}
+
+std::vector<ExperimentCase>
+fig13Cases()
+{
+    // Not a full cross product: the FG baseline runs once (manual
+    // annotations are inert under FG) and SLPMT runs per mode.
+    struct Mode
+    {
+        AnnotationMode mode;
+        SchemeKind scheme;
+        const char *tag;
+    };
+    const Mode modes[] = {
+        {AnnotationMode::Manual, SchemeKind::FG, "base"},
+        {AnnotationMode::Manual, SchemeKind::SLPMT, "manual"},
+        {AnnotationMode::Compiler, SchemeKind::SLPMT, "compiler"},
+    };
+    std::vector<ExperimentCase> cases;
+    for (const auto &workload : fig13Workloads()) {
+        for (const Mode &m : modes) {
+            ExperimentCase c;
+            c.workload = workload;
+            c.cfg.scheme = m.scheme;
+            c.cfg.annotations = m.mode;
+            c.key = caseKey(workload, m.scheme, m.tag);
+            cases.push_back(std::move(c));
+        }
+    }
+    return cases;
+}
+
+void
+fig13Print(const MatrixResult &res)
+{
+    TableReport speedup(
+        "Figure 13 (left): speedup over FG, manual vs compiler "
+        "annotations");
+    speedup.header({"benchmark", "manual", "compiler"});
+    std::vector<double> manual_all;
+    std::vector<double> compiler_all;
+    for (const auto &workload : fig13Workloads()) {
+        const auto &base =
+            res.get(caseKey(workload, SchemeKind::FG, "base"));
+        const auto &manual =
+            res.get(caseKey(workload, SchemeKind::SLPMT, "manual"));
+        const auto &compiler =
+            res.get(caseKey(workload, SchemeKind::SLPMT, "compiler"));
+        const double sm = manual.speedupOver(base);
+        const double sc = compiler.speedupOver(base);
+        manual_all.push_back(sm);
+        compiler_all.push_back(sc);
+        speedup.row({workload, TableReport::ratio(sm),
+                     TableReport::ratio(sc)});
+    }
+    speedup.row({"geomean", TableReport::ratio(geomean(manual_all)),
+                 TableReport::ratio(geomean(compiler_all))});
+    speedup.print();
+
+    // Annotation coverage (the 16-of-26 observation).
+    TableReport coverage("Figure 13: compiler annotation coverage");
+    coverage.header({"benchmark", "manual sites", "compiler found",
+                     "missed (deep semantics)"});
+    std::size_t total_manual = 0;
+    std::size_t total_found = 0;
+    for (const auto &workload : kernelWorkloads()) {
+        PmSystem sys{SystemConfig{}};
+        auto w = makeWorkload(workload);
+        w->setup(sys);
+        const AnnotationReport report = compareAnnotations(sys.sites());
+        total_manual += report.manualAnnotated;
+        total_found += report.compilerFound;
+        coverage.row({workload,
+                      TableReport::integer(report.manualAnnotated),
+                      TableReport::integer(report.compilerFound),
+                      TableReport::integer(report.missed)});
+    }
+    coverage.row({"total (paper: 16 of 26)",
+                  TableReport::integer(total_manual),
+                  TableReport::integer(total_found),
+                  TableReport::integer(total_manual - total_found)});
+    coverage.print();
+
+    // Compile time (Figure 13 right).
+    TableReport compile(
+        "Figure 13 (right): compile time with the storeT pass");
+    compile.header({"benchmark", "baseline (s)", "with pass (s)",
+                    "overhead"});
+    for (const auto &workload : fig13Workloads()) {
+        PmSystem sys{SystemConfig{}};
+        auto w = makeWorkload(workload);
+        w->setup(sys);
+        const CompileTimeEstimate est = estimateCompileTime(
+            sys.sites(), baselineCompileSec(workload));
+        compile.row({workload, TableReport::num(est.baselineSec),
+                     TableReport::num(est.withAnalysisSec),
+                     TableReport::percent(est.overheadFraction())});
+    }
+    compile.print();
+}
+
+// -------------------------------------------------------------------
+// Figure 14: PMKV backends at 256B and 16B values
+// -------------------------------------------------------------------
+
+const std::vector<SchemeKind> fig14Schemes = {
+    SchemeKind::FG, SchemeKind::SLPMT, SchemeKind::ATOM,
+    SchemeKind::EDE};
+
+std::vector<ExperimentCase>
+fig14Cases()
+{
+    MatrixSpec spec;
+    spec.workloads = kvWorkloads();
+    spec.schemes = fig14Schemes;
+    spec.valueSizes = {256, 16};
+    return expandMatrix(spec);
+}
+
+void
+fig14Print(const MatrixResult &res)
+{
+    for (std::size_t vs : {std::size_t(256), std::size_t(16)}) {
+        const auto suffix = std::to_string(vs) + "B";
+        TableReport table("Figure 14 (" + suffix +
+                          " values): speedup over FG baseline");
+        std::vector<std::string> cols = {"benchmark"};
+        for (SchemeKind s : fig14Schemes)
+            cols.push_back(schemeName(s));
+        cols.push_back("traffic cut (SLPMT)");
+        table.header(cols);
+
+        std::map<SchemeKind, std::vector<double>> all;
+        for (const auto &workload : kvWorkloads()) {
+            const auto &base =
+                res.get(caseKey(workload, SchemeKind::FG, suffix));
+            std::vector<std::string> row = {workload};
+            for (SchemeKind s : fig14Schemes) {
+                const auto &cell = res.get(caseKey(workload, s, suffix));
+                const double sp = cell.speedupOver(base);
+                all[s].push_back(sp);
+                row.push_back(TableReport::ratio(sp));
+            }
+            const auto &slpmt =
+                res.get(caseKey(workload, SchemeKind::SLPMT, suffix));
+            row.push_back(
+                TableReport::percent(slpmt.trafficReductionOver(base)));
+            table.row(row);
+        }
+        std::vector<std::string> row = {"geomean"};
+        for (SchemeKind s : fig14Schemes)
+            row.push_back(TableReport::ratio(geomean(all[s])));
+        table.row(row);
+        table.print();
+
+        TableReport vs_prior("Figure 14 (" + suffix +
+                             "): SLPMT vs prior hardware designs");
+        vs_prior.header({"benchmark", "vs ATOM", "vs EDE"});
+        std::vector<double> vs_atom;
+        std::vector<double> vs_ede;
+        for (const auto &workload : kvWorkloads()) {
+            const auto &slpmt =
+                res.get(caseKey(workload, SchemeKind::SLPMT, suffix));
+            const auto &atom =
+                res.get(caseKey(workload, SchemeKind::ATOM, suffix));
+            const auto &ede =
+                res.get(caseKey(workload, SchemeKind::EDE, suffix));
+            const double a = slpmt.speedupOver(atom);
+            const double e = slpmt.speedupOver(ede);
+            vs_atom.push_back(a);
+            vs_ede.push_back(e);
+            vs_prior.row({workload, TableReport::ratio(a),
+                          TableReport::ratio(e)});
+        }
+        vs_prior.row({"geomean", TableReport::ratio(geomean(vs_atom)),
+                      TableReport::ratio(geomean(vs_ede))});
+        vs_prior.print();
+    }
+}
+
+// -------------------------------------------------------------------
+// Sample: a small pinned sweep for quick CI / sanitizer runs
+// -------------------------------------------------------------------
+
+const std::vector<SchemeKind> sampleSchemes = {
+    SchemeKind::FG, SchemeKind::SLPMT, SchemeKind::ATOM,
+    SchemeKind::EDE};
+
+std::vector<ExperimentCase>
+sampleCases()
+{
+    MatrixSpec spec;
+    spec.workloads = {"hashtable", "avl"};
+    spec.schemes = sampleSchemes;
+    spec.valueSizes = {64};
+    spec.numOps = 200;
+    return expandMatrix(spec);
+}
+
+void
+samplePrint(const MatrixResult &res)
+{
+    TableReport table(
+        "Sampled sweep (200 ops, 64B values): speedup over FG");
+    std::vector<std::string> cols = {"benchmark"};
+    for (SchemeKind s : sampleSchemes)
+        cols.push_back(schemeName(s));
+    table.header(cols);
+    for (const auto &workload :
+         {std::string("hashtable"), std::string("avl")}) {
+        const auto &base = res.get(caseKey(workload, SchemeKind::FG));
+        std::vector<std::string> row = {workload};
+        for (SchemeKind s : sampleSchemes)
+            row.push_back(TableReport::ratio(
+                res.get(caseKey(workload, s)).speedupOver(base)));
+        table.row(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+const std::vector<FigureSpec> &
+figureRegistry()
+{
+    static const std::vector<FigureSpec> registry = {
+        {"fig8", "kernel speedups / traffic reduction over FG",
+         fig8Cases, fig8Print},
+        {"fig9", "cache-line-granularity SLPMT vs ATOM baseline",
+         fig9Cases, fig9Print},
+        {"fig10", "speedup sensitivity to the value size",
+         valueSizeCases, fig10Print},
+        {"fig11", "traffic-reduction sensitivity to the value size",
+         valueSizeCases, fig11Print},
+        {"fig12", "speedup sensitivity to the PM write latency",
+         fig12Cases, fig12Print},
+        {"fig13", "compiler pass vs manual annotations", fig13Cases,
+         fig13Print},
+        {"fig14", "PMKV backends at 256B and 16B values", fig14Cases,
+         fig14Print},
+        {"sample", "small pinned sweep for quick CI runs", sampleCases,
+         samplePrint},
+    };
+    return registry;
+}
+
+const FigureSpec *
+findFigure(const std::string &name)
+{
+    for (const FigureSpec &fig : figureRegistry()) {
+        if (fig.name == name)
+            return &fig;
+    }
+    return nullptr;
+}
+
+int
+parseCommonFlag(const std::string &arg, BenchOptions *opts,
+                std::string *error)
+{
+    auto valueOf = [&arg](const std::string &prefix) {
+        return arg.substr(prefix.size());
+    };
+    auto startsWith = [&arg](const std::string &prefix) {
+        return arg.rfind(prefix, 0) == 0;
+    };
+
+    if (startsWith("--workers=")) {
+        const std::string v = valueOf("--workers=");
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (v.empty() || *end) {
+            *error = "bad --workers value: " + v;
+            return -1;
+        }
+        opts->workers = static_cast<std::size_t>(n);
+        return 1;
+    }
+    if (arg == "--json") {
+        opts->emitJson = true;
+        opts->jsonPath.clear();
+        return 1;
+    }
+    if (startsWith("--json=")) {
+        opts->emitJson = true;
+        opts->jsonPath = valueOf("--json=");
+        return 1;
+    }
+    if (arg == "--stats") {
+        opts->includeStats = true;
+        return 1;
+    }
+    if (startsWith("--baseline=")) {
+        opts->baselinePath = valueOf("--baseline=");
+        return 1;
+    }
+    if (startsWith("--threshold=")) {
+        const std::string v = valueOf("--threshold=");
+        char *end = nullptr;
+        const double t = std::strtod(v.c_str(), &end);
+        if (v.empty() || *end || t < 0) {
+            *error = "bad --threshold value: " + v;
+            return -1;
+        }
+        opts->threshold = t;
+        return 1;
+    }
+    if (arg == "--no-tables") {
+        opts->tables = false;
+        return 1;
+    }
+    return 0;
+}
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    std::size_t n;
+    out->clear();
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+runBench(const BenchOptions &opts)
+{
+    // Load the baseline up front so a bad path fails before the sweep.
+    JsonValue baseline;
+    if (!opts.baselinePath.empty()) {
+        std::string text;
+        if (!readFile(opts.baselinePath, &text)) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         opts.baselinePath.c_str());
+            return 2;
+        }
+        std::string error;
+        if (!parseJson(text, &baseline, &error)) {
+            std::fprintf(stderr, "bad baseline %s: %s\n",
+                         opts.baselinePath.c_str(), error.c_str());
+            return 2;
+        }
+    }
+
+    const bool json_to_stdout = opts.emitJson && opts.jsonPath.empty();
+    const bool print_tables = opts.tables && !json_to_stdout;
+
+    std::vector<std::string> json_reports;
+    bool all_verified = true;
+    std::size_t total_regressions = 0;
+
+    for (const std::string &name : opts.figures) {
+        const FigureSpec *fig = findFigure(name);
+        if (!fig) {
+            std::fprintf(stderr, "unknown figure: %s\n", name.c_str());
+            return 2;
+        }
+
+        const auto start = std::chrono::steady_clock::now();
+        const MatrixResult result = runCases(fig->cases(), opts.workers);
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        // Timing goes to stderr only: the JSON report must stay
+        // byte-identical across runs and worker counts.
+        std::fprintf(stderr, "%s: %zu cells in %.1fs\n", name.c_str(),
+                     result.cases.size(), secs);
+
+        if (print_tables)
+            fig->print(result);
+
+        std::string failures;
+        if (!result.allVerified(&failures)) {
+            all_verified = false;
+            std::fprintf(stderr, "VERIFICATION FAILURES (%s):\n%s",
+                         name.c_str(), failures.c_str());
+        }
+
+        if (opts.emitJson)
+            json_reports.push_back(
+                reportJson(name, result, opts.includeStats));
+
+        if (!opts.baselinePath.empty()) {
+            const BaselineDiff diff = diffAgainstBaseline(
+                baseline, name, result, opts.threshold);
+            if (diff.cellsCompared == 0) {
+                std::fprintf(stderr,
+                             "baseline has no cells for %s "
+                             "(%zu cells unmatched)\n",
+                             name.c_str(),
+                             diff.cellsMissingInBaseline);
+            }
+            for (const BaselineRegression &reg : diff.regressions) {
+                std::fprintf(stderr,
+                             "REGRESSION %s %s %s: %.0f -> %.0f "
+                             "(%+.1f%%)\n",
+                             name.c_str(), reg.cell.c_str(),
+                             reg.metric.c_str(), reg.before, reg.after,
+                             reg.change() * 100.0);
+            }
+            total_regressions += diff.regressions.size();
+        }
+    }
+
+    if (opts.emitJson) {
+        std::string doc;
+        if (json_reports.size() == 1) {
+            doc = json_reports.front();
+        } else {
+            doc = "{\"schema\":\"slpmt-bench-1\",\"reports\":[";
+            for (std::size_t i = 0; i < json_reports.size(); ++i) {
+                if (i)
+                    doc += ',';
+                doc += json_reports[i];
+            }
+            doc += "]}";
+        }
+        doc += '\n';
+        if (json_to_stdout) {
+            std::fputs(doc.c_str(), stdout);
+        } else {
+            std::FILE *f = std::fopen(opts.jsonPath.c_str(), "wb");
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opts.jsonPath.c_str());
+                return 2;
+            }
+            std::fputs(doc.c_str(), f);
+            std::fclose(f);
+        }
+    }
+
+    if (!all_verified)
+        return 1;
+    if (total_regressions > 0)
+        return 3;
+    return 0;
+}
+
+int
+runFigureMain(const std::string &figure_name, int argc, char **argv)
+{
+    BenchOptions opts;
+    opts.figures = {figure_name};
+    for (int i = 1; i < argc; ++i) {
+        std::string error;
+        const int consumed = parseCommonFlag(argv[i], &opts, &error);
+        if (consumed < 0) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
+        }
+        if (consumed == 0) {
+            std::fprintf(
+                stderr,
+                "unknown option %s\nusage: %s [--workers=N] "
+                "[--json[=FILE]] [--stats] [--baseline=FILE] "
+                "[--threshold=FRACTION] [--no-tables]\n",
+                argv[i], argv[0]);
+            return 2;
+        }
+    }
+    return runBench(opts);
+}
+
+} // namespace slpmt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper-figure sweep registry.
+ *
+ * Each figure of the evaluation (Figures 8-14) is one declarative
+ * sweep over the experiment space plus a table printer that formats
+ * the results the way the paper's figure does. The registry lets the
+ * per-figure binaries and the slpmt_bench multiplexer share a single
+ * implementation of the sweep loops, and runFigureMain() gives them
+ * all the same CLI (worker count, JSON reports, baseline diffing).
+ */
+
+#ifndef SLPMT_SIM_FIGURES_HH
+#define SLPMT_SIM_FIGURES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/orchestrator.hh"
+
+namespace slpmt
+{
+
+/** One registered figure sweep. */
+struct FigureSpec
+{
+    std::string name;   //!< CLI id ("fig8", "sample", ...)
+    std::string title;  //!< one-line description for --list
+    std::function<std::vector<ExperimentCase>()> cases;
+    std::function<void(const MatrixResult &)> print;
+};
+
+/** Every registered figure, in presentation order. */
+const std::vector<FigureSpec> &figureRegistry();
+
+/** Lookup by CLI id; nullptr when unknown. */
+const FigureSpec *findFigure(const std::string &name);
+
+/** Parsed command line shared by slpmt_bench and the fig binaries. */
+struct BenchOptions
+{
+    std::vector<std::string> figures;  //!< resolved figure names
+    std::size_t workers = 0;           //!< 0 = one per hardware thread
+    bool emitJson = false;
+    std::string jsonPath;              //!< empty = stdout (tables off)
+    bool includeStats = false;         //!< full stats block per cell
+    std::string baselinePath;          //!< empty = no diff
+    double threshold = 0.05;           //!< relative regression bound
+    bool tables = true;                //!< print the figure tables
+};
+
+/**
+ * Parse one common flag (--workers=N, --json[=FILE], --stats,
+ * --baseline=FILE, --threshold=FRACTION, --no-tables).
+ * @return 1 consumed, 0 not a common flag, -1 malformed (error set).
+ */
+int parseCommonFlag(const std::string &arg, BenchOptions *opts,
+                    std::string *error);
+
+/**
+ * Run every figure in @p opts in order, print tables, emit the JSON
+ * report(s) and diff against the baseline when requested.
+ *
+ * @return process exit code: 0 ok, 1 verification failure, 2 usage/io
+ *         error, 3 baseline regression
+ */
+int runBench(const BenchOptions &opts);
+
+/**
+ * Shared main() body for the single-figure binaries: common flags
+ * only, then runBench() on @p figure_name.
+ */
+int runFigureMain(const std::string &figure_name, int argc, char **argv);
+
+} // namespace slpmt
+
+#endif // SLPMT_SIM_FIGURES_HH

@@ -1,0 +1,243 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace slpmt
+{
+
+namespace
+{
+
+/** Recursive-descent JSON reader over an in-memory string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text(text), err(error)
+    {
+    }
+
+    bool
+    document(JsonValue *out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos != text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (err)
+            *err = why + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    expect(char ch)
+    {
+        if (pos >= text.size() || text[pos] != ch)
+            return fail(std::string("expected '") + ch + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word, JsonValue *out, JsonValue::Type type,
+            bool boolean)
+    {
+        for (const char *p = word; *p; ++p, ++pos) {
+            if (pos >= text.size() || text[pos] != *p)
+                return fail(std::string("bad literal, expected ") + word);
+        }
+        out->type = type;
+        out->boolean = boolean;
+        return true;
+    }
+
+    bool
+    value(JsonValue *out)
+    {
+        if (++depth > maxDepth)
+            return fail("nesting too deep");
+        bool ok = valueInner(out);
+        --depth;
+        return ok;
+    }
+
+    bool
+    valueInner(JsonValue *out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        switch (text[pos]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out->type = JsonValue::Type::String;
+            return string(&out->string);
+          case 't': return literal("true", out, JsonValue::Type::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Type::Bool, false);
+          case 'n': return literal("null", out, JsonValue::Type::Null, false);
+          default: return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue *out)
+    {
+        out->type = JsonValue::Type::Object;
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            if (!value(&out->object[key]))
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    array(JsonValue *out)
+    {
+        out->type = JsonValue::Type::Array;
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            out->array.emplace_back();
+            if (!value(&out->array.back()))
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (!expect('"'))
+            return false;
+        out->clear();
+        while (pos < text.size()) {
+            const char ch = text[pos];
+            if (ch == '"') {
+                ++pos;
+                return true;
+            }
+            if (ch == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    break;
+                switch (text[pos]) {
+                  case '"': *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/': *out += '/'; break;
+                  case 'b': *out += '\b'; break;
+                  case 'f': *out += '\f'; break;
+                  case 'n': *out += '\n'; break;
+                  case 'r': *out += '\r'; break;
+                  case 't': *out += '\t'; break;
+                  case 'u': {
+                    // Reports only escape control characters; decode
+                    // the BMP code point as a raw byte when it fits.
+                    if (pos + 4 >= text.size())
+                        return fail("truncated \\u escape");
+                    const std::string hex = text.substr(pos + 1, 4);
+                    char *end = nullptr;
+                    const unsigned long cp =
+                        std::strtoul(hex.c_str(), &end, 16);
+                    if (end != hex.c_str() + 4)
+                        return fail("bad \\u escape");
+                    if (cp < 0x80) {
+                        *out += static_cast<char>(cp);
+                    } else {
+                        *out += static_cast<char>(0xC0 | (cp >> 6));
+                        *out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    pos += 4;
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+                ++pos;
+                continue;
+            }
+            *out += ch;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue *out)
+    {
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("malformed value");
+        out->type = JsonValue::Type::Number;
+        out->number = v;
+        pos += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    static constexpr int maxDepth = 64;
+
+    const std::string &text;
+    std::string *err;
+    std::size_t pos = 0;
+    int depth = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *error)
+{
+    *out = JsonValue{};
+    return Parser(text, error).document(out);
+}
+
+} // namespace slpmt

@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal JSON emitter for machine-readable reports (the crash-sweep
- * validation report, stats dumps). Write-only, streaming, with
- * automatic comma management; no external dependencies.
+ * Minimal JSON support for machine-readable reports (the crash-sweep
+ * validation report, stats dumps, orchestrator baselines): a
+ * streaming writer with automatic comma management, and a small
+ * recursive-descent reader for loading reports back (baseline
+ * diffing). No external dependencies.
  */
 
 #ifndef SLPMT_SIM_JSON_HH
@@ -10,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -180,6 +183,50 @@ class JsonWriter
     std::vector<Frame> stack;
     bool pendingKey = false;
 };
+
+/** One parsed JSON node (the read side of the reports). */
+struct JsonValue
+{
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+/**
+ * Parse a complete JSON document. Returns false (with a position-
+ * annotated message in @p error) on malformed input rather than
+ * panicking: baseline files come from outside the process.
+ */
+bool parseJson(const std::string &text, JsonValue *out,
+               std::string *error);
 
 } // namespace slpmt
 

@@ -8,12 +8,25 @@
 #ifndef SLPMT_SIM_REPORT_HH
 #define SLPMT_SIM_REPORT_HH
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 namespace slpmt
 {
+
+/** Geometric mean of a list of ratios (the paper's summary metric). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
 
 /** Fixed-width text table writer. */
 class TableReport

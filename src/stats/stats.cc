@@ -1,0 +1,131 @@
+#include "stats/stats.hh"
+
+#include "sim/json.hh"
+
+namespace slpmt
+{
+
+const char *
+StatsRegistry::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+StatsRegistry::Entry &
+StatsRegistry::entryFor(const std::string &name, Kind kind)
+{
+    auto [it, inserted] = entries.try_emplace(name);
+    if (inserted) {
+        it->second.kind = kind;
+    } else if (it->second.kind != kind) {
+        panic("stat '" + name + "' already registered as " +
+              kindName(it->second.kind) + ", re-registered as " +
+              kindName(kind));
+    }
+    return it->second;
+}
+
+std::uint64_t &
+StatsRegistry::scalar(const std::string &name, Kind kind)
+{
+    return entryFor(name, kind).value;
+}
+
+StatsRegistry::Histogram
+StatsRegistry::histogram(const std::string &name,
+                         const std::vector<std::uint64_t> &bounds)
+{
+    panicIfNot(!bounds.empty(), "histogram '" + name + "' has no buckets");
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        panicIfNot(bounds[i - 1] < bounds[i],
+                   "histogram '" + name +
+                       "' bounds must be strictly increasing");
+    }
+
+    Entry &entry = entryFor(name, Kind::Histogram);
+    if (entry.hist.buckets.empty()) {
+        entry.hist.bounds = bounds;
+        entry.hist.buckets.assign(bounds.size() + 1, 0);
+    } else if (entry.hist.bounds != bounds) {
+        panic("histogram '" + name +
+              "' re-registered with different bucket bounds");
+    }
+    return Histogram(&entry.hist);
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot snap;
+    for (const auto &[name, entry] : entries) {
+        if (entry.kind != Kind::Histogram) {
+            snap[name] = entry.value;
+            continue;
+        }
+        const HistogramData &h = entry.hist;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            const std::string key =
+                b < h.bounds.size()
+                    ? name + ".le" + std::to_string(h.bounds[b])
+                    : name + ".inf";
+            snap[key] = h.buckets[b];
+        }
+        snap[name + ".count"] = h.count;
+        snap[name + ".sum"] = h.sum;
+    }
+    return snap;
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &[name, entry] : entries) {
+        entry.value = 0;
+        if (entry.kind == Kind::Histogram)
+            entry.hist.reset();
+    }
+}
+
+void
+StatsRegistry::dumpJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, entry] : entries) {
+        w.key(name);
+        if (entry.kind != Kind::Histogram) {
+            w.value(entry.value);
+            continue;
+        }
+        const HistogramData &h = entry.hist;
+        w.beginObject();
+        w.key("bounds").beginArray();
+        for (std::uint64_t b : h.bounds)
+            w.value(b);
+        w.endArray();
+        w.key("buckets").beginArray();
+        for (std::uint64_t b : h.buckets)
+            w.value(b);
+        w.endArray();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("min").value(h.count ? h.min : 0);
+        w.key("max").value(h.max);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::toJson() const
+{
+    JsonWriter w;
+    dumpJson(w);
+    return w.str();
+}
+
+} // namespace slpmt

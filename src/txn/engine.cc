@@ -30,7 +30,19 @@ TxnEngine::TxnEngine(const SchemeConfig &scheme, LoggingStyle style,
       statLazyForcedPersists(stats.counter("txn.lazyForcedPersists")),
       statSigHits(stats.counter("txn.signatureHits")),
       statIdReclaims(stats.counter("txn.idReclaims")),
-      statRecoverReplays(stats.counter("txn.recoverRecordsApplied"))
+      statRecoverReplays(stats.counter("txn.recoverRecordsApplied")),
+      statLazyDrainSigHit(stats.counter("txn.lazyDrain.sigHit")),
+      statLazyDrainLineOwner(stats.counter("txn.lazyDrain.lineOwner")),
+      statLazyDrainIdWrap(stats.counter("txn.lazyDrain.idWrap")),
+      statLazyDrainEviction(stats.counter("txn.lazyDrain.eviction")),
+      statLazyDrainExplicit(stats.counter("txn.lazyDrain.explicit")),
+      statLazyStoreBytes(stats.counter("txn.lazyStoreBytes")),
+      statLogFreeStoreBytes(stats.counter("txn.logFreeStoreBytes")),
+      statLogFreeWordsElided(stats.counter("txn.logFreeWordsElided")),
+      statCommitCycles(stats.histogram(
+          "txn.commitCycles", {100, 300, 1000, 3000, 10000, 100000})),
+      statStoreBytes(
+          stats.histogram("txn.storeBytes", {8, 16, 64, 256, 1024}))
 {
     logBuf.setSink(this);
     hier.setEvictionClient(this);
@@ -51,7 +63,8 @@ TxnEngine::txBegin()
     // (Section III-C2).
     if (!ids.hasFree()) {
         statIdReclaims++;
-        clock += persistLazyThrough(ids.blockingId(), clock);
+        clock += persistLazyThrough(ids.blockingId(), clock,
+                                    statLazyDrainIdWrap);
     }
 
     curId = ids.allocate();
@@ -77,6 +90,7 @@ TxnEngine::txCommit()
         c += commitRedo(clock + c);
     inTxn = false;
     statCommits++;
+    statCommitCycles.record(c);
     clock += c;
 }
 
@@ -323,12 +337,17 @@ TxnEngine::storeT(Addr addr, const void *src, std::size_t len,
         statStoreTs++;
     else
         statStores++;
+    statStoreBytes.record(len);
 
     // A disabled feature turns the operand off (the log-free flag of
     // Figure 2 "disables the semantic of storeT"); outside a durable
     // transaction storeT degenerates to store.
     const bool lazy = flags.lazy && schemeCfg.allowLazy && inTxn;
     const bool log_free = flags.logFree && schemeCfg.allowLogFree && inTxn;
+    if (lazy)
+        statLazyStoreBytes += len;
+    if (log_free)
+        statLogFreeStoreBytes += len;
 
     auto *from = static_cast<const std::uint8_t *>(src);
     Cycles c = 0;
@@ -382,6 +401,9 @@ TxnEngine::storeSegment(Addr addr, const void *src, std::size_t len,
         if (!log_free && loggingStyle == LoggingStyle::Undo) {
             c += createLogRecords(line, addr, len, when + c);
             c += schemeCfg.storeFenceCycles;
+        } else if (log_free) {
+            statLogFreeWordsElided +=
+                wordIndex(addr + len - 1) - wordIndex(addr) + 1;
         }
 
         line.txnId = curId;
@@ -543,7 +565,8 @@ TxnEngine::checkSignaturesOnWrite(Addr addr, Cycles when)
             if (idState[id].signature.mightContain(addr)) {
                 statSigHits++;
                 c += costs.lazyScan;
-                c += persistLazyThrough(id, when + c);
+                c += persistLazyThrough(id, when + c,
+                                        statLazyDrainSigHit);
                 again = true;  // the live list changed; rescan
                 break;
             }
@@ -563,11 +586,13 @@ TxnEngine::checkLineOwner(const CacheLine &line, Cycles when)
     if (owner >= idState.size() || idState[owner].txnSeq != line.txnSeq ||
         !idState[owner].lazyOutstanding)
         return 0;  // stale tag: owner already fully persisted
-    return costs.lazyScan + persistLazyThrough(owner, when);
+    return costs.lazyScan +
+           persistLazyThrough(owner, when, statLazyDrainLineOwner);
 }
 
 Cycles
-TxnEngine::persistLazyThrough(std::uint8_t id, Cycles when)
+TxnEngine::persistLazyThrough(std::uint8_t id, Cycles when,
+                              StatsRegistry::Counter &reason)
 {
     // Persist all data owned by transactions up to and including the
     // target, oldest first (Section III-C2).
@@ -576,7 +601,7 @@ TxnEngine::persistLazyThrough(std::uint8_t id, Cycles when)
     for (std::uint8_t live_id : order) {
         if (inTxn && live_id == curId)
             continue;
-        c += persistLazyOf(live_id, when + c);
+        c += persistLazyOf(live_id, when + c, reason);
         if (live_id == id)
             break;
     }
@@ -584,7 +609,8 @@ TxnEngine::persistLazyThrough(std::uint8_t id, Cycles when)
 }
 
 Cycles
-TxnEngine::persistLazyOf(std::uint8_t id, Cycles when)
+TxnEngine::persistLazyOf(std::uint8_t id, Cycles when,
+                         StatsRegistry::Counter &reason)
 {
     Cycles c = 0;
     const std::uint64_t seq = idState[id].txnSeq;
@@ -597,6 +623,7 @@ TxnEngine::persistLazyOf(std::uint8_t id, Cycles when)
             c += hier.persistPrivateLine(line, PersistKind::LazyLine,
                                          when + c, /*sync=*/false);
             statLazyForcedPersists++;
+            reason++;
         }
         line.clearTxnMeta();
     });
@@ -614,7 +641,7 @@ TxnEngine::persistAllLazy()
     for (std::uint8_t id : order) {
         if (inTxn && id == curId)
             continue;
-        c += persistLazyOf(id, clock + c);
+        c += persistLazyOf(id, clock + c, statLazyDrainExplicit);
     }
     clock += c;
 }
@@ -704,6 +731,7 @@ TxnEngine::evictingPrivateLine(CacheLine &line, Cycles when)
         c += hier.persistPrivateLine(line, PersistKind::LazyLine,
                                      when + c);
         statLazyForcedPersists++;
+        statLazyDrainEviction++;
     }
     line.clearTxnMeta();
     return c;

@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "logbuf/log_buffer.hh"
 #include "txn/scheme.hh"
 #include "txn/signature.hh"
@@ -242,11 +242,13 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     Cycles checkLineOwner(const CacheLine &line, Cycles when);
 
     /** Persist all lazy lines of live txns up to @p id (oldest first),
-     *  releasing their IDs. */
-    Cycles persistLazyThrough(std::uint8_t id, Cycles when);
+     *  releasing their IDs. @p reason attributes the forced lines. */
+    Cycles persistLazyThrough(std::uint8_t id, Cycles when,
+                              StatsRegistry::Counter &reason);
 
     /** Persist the lazy lines of exactly one committed txn. */
-    Cycles persistLazyOf(std::uint8_t id, Cycles when);
+    Cycles persistLazyOf(std::uint8_t id, Cycles when,
+                         StatsRegistry::Counter &reason);
 
     /** Commit paths per logging style. */
     Cycles commitUndo(Cycles when);
@@ -308,6 +310,26 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     StatsRegistry::Counter statSigHits;
     StatsRegistry::Counter statIdReclaims;
     StatsRegistry::Counter statRecoverReplays;
+
+    /** @name Why lazy lines were forced out (Section III-C3 taxonomy).
+     *  Counted per line, so the five sum to lazyForcedPersists. */
+    /** @{ */
+    StatsRegistry::Counter statLazyDrainSigHit;    //!< working-set hit
+    StatsRegistry::Counter statLazyDrainLineOwner; //!< foreign-ID access
+    StatsRegistry::Counter statLazyDrainIdWrap;    //!< circular-ID reclaim
+    StatsRegistry::Counter statLazyDrainEviction;  //!< private overflow
+    StatsRegistry::Counter statLazyDrainExplicit;  //!< persistAllLazy()
+    /** @} */
+
+    /** Bytes stored with an effective lazy / log-free operand. */
+    StatsRegistry::Counter statLazyStoreBytes;
+    StatsRegistry::Counter statLogFreeStoreBytes;
+
+    /** Word-log events the log-free operand elided (pre-dedup). */
+    StatsRegistry::Counter statLogFreeWordsElided;
+
+    StatsRegistry::Histogram statCommitCycles;  //!< commit-path latency
+    StatsRegistry::Histogram statStoreBytes;    //!< store/storeT sizes
 };
 
 } // namespace slpmt

@@ -39,6 +39,7 @@ UndoLogArea::append(const LogRecord &rec, Cycles now,
     panicIfNot(tail + entry + wordSize <= areaBase + areaSize,
                "undo log area overflow");
     statAppends++;
+    statWireBytes += rec.wireBytes() + extra_bytes;
 
     // Entry, then a zero terminator so a recovery scan stops here.
     std::uint8_t buf[cacheLineSize + 2 * wordSize] = {};
@@ -60,6 +61,7 @@ Cycles
 UndoLogArea::truncate(Cycles now, std::uint64_t txn_seq)
 {
     statTruncates++;
+    statTruncateBytes += sizeof(std::uint64_t);
     tail = areaBase;
     const std::uint64_t zero = 0;
     return pm.persistBytes(areaBase, &zero, sizeof(zero), now,

@@ -25,7 +25,7 @@
 
 #include <vector>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "logbuf/log_record.hh"
 #include "mem/pm_device.hh"
 
@@ -42,7 +42,9 @@ class UndoLogArea
           areaSize(size),
           statAppends(stats.counter("undolog.appends")),
           statTruncates(stats.counter("undolog.truncates")),
-          statUndoApplied(stats.counter("undolog.recordsApplied"))
+          statUndoApplied(stats.counter("undolog.recordsApplied")),
+          statWireBytes(stats.counter("undolog.wireBytes")),
+          statTruncateBytes(stats.counter("undolog.truncateBytes"))
     {
         initialize();
     }
@@ -122,6 +124,8 @@ class UndoLogArea
     StatsRegistry::Counter statAppends;
     StatsRegistry::Counter statTruncates;
     StatsRegistry::Counter statUndoApplied;
+    StatsRegistry::Counter statWireBytes;     //!< accounted append traffic
+    StatsRegistry::Counter statTruncateBytes; //!< accounted truncate traffic
 };
 
 } // namespace slpmt

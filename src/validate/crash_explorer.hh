@@ -35,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "txn/engine.hh"
 #include "txn/scheme.hh"
 #include "workloads/ycsb.hh"

@@ -11,7 +11,7 @@
 #include <cstring>
 
 #include "cache/hierarchy.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 
 namespace slpmt
 {

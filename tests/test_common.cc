@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "common/types.hh"
 #include "mem/paged_memory.hh"
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Golden-stats regression anchors: one pinned configuration per
+ * scheme (hashtable, 200 ops, 64 B values, seed 42) plus one redo
+ * run, with the exact expected cycle count, PM traffic, log-record
+ * count and undo-log wire bytes.
+ *
+ * The simulator is deterministic, so these are exact equalities. A
+ * failure here means a change altered simulated behaviour — either
+ * intentionally (regenerate the table below; the failure message
+ * carries the new values) or as an unintended timing/traffic
+ * regression that the functional tests cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+struct GoldenCase
+{
+    SchemeKind scheme;
+    LoggingStyle style;
+    std::uint64_t cycles;
+    std::uint64_t pmWriteBytes;
+    std::uint64_t logRecords;
+    std::uint64_t undoWireBytes;
+};
+
+// Pinned workload: hashtable, 200 ops, 64 B values, seed 42.
+const GoldenCase goldenCases[] = {
+    {SchemeKind::FG, LoggingStyle::Undo, 678055ull, 133600ull, 4940ull,
+     52448ull},
+    {SchemeKind::FG_LG, LoggingStyle::Undo, 606143ull, 87720ull, 421ull,
+     6568ull},
+    {SchemeKind::FG_LZ, LoggingStyle::Undo, 598279ull, 129520ull,
+     4940ull, 48432ull},
+    {SchemeKind::SLPMT, LoggingStyle::Undo, 536265ull, 84504ull, 421ull,
+     3416ull},
+    {SchemeKind::SLPMT_CL, LoggingStyle::Undo, 541542ull, 95704ull,
+     400ull, 14616ull},
+    {SchemeKind::ATOM, LoggingStyle::Undo, 822872ull, 170648ull,
+     1243ull, 89496ull},
+    {SchemeKind::EDE, LoggingStyle::Undo, 1179286ull, 184560ull,
+     3993ull, 103408ull},
+    {SchemeKind::SLPMT, LoggingStyle::Redo, 563283ull, 90920ull, 421ull,
+     9768ull},
+};
+
+TEST(GoldenStats, PinnedConfigsMatchExactly)
+{
+    for (const GoldenCase &golden : goldenCases) {
+        ExperimentConfig cfg;
+        cfg.scheme = golden.scheme;
+        cfg.style = golden.style;
+        cfg.ycsb.numOps = 200;
+        cfg.ycsb.valueBytes = 64;
+        const ExperimentResult res = runExperiment("hashtable", cfg);
+
+        const std::string label =
+            schemeName(golden.scheme) +
+            (golden.style == LoggingStyle::Redo ? "/redo" : "");
+        EXPECT_TRUE(res.verified) << label << ": " << res.failure;
+        EXPECT_EQ(res.cycles, golden.cycles) << label;
+        EXPECT_EQ(res.pmWriteBytes, golden.pmWriteBytes) << label;
+        EXPECT_EQ(res.logRecords, golden.logRecords) << label;
+        EXPECT_EQ(res.stats.at("undolog.wireBytes"),
+                  golden.undoWireBytes)
+            << label;
+    }
+}
+
+// The ordering the paper's headline claims depend on: SLPMT beats the
+// baselines at both runtime and traffic on the pinned config.
+TEST(GoldenStats, PinnedOrderingBetweenSchemes)
+{
+    auto of = [](SchemeKind scheme) {
+        for (const GoldenCase &g : goldenCases) {
+            if (g.scheme == scheme && g.style == LoggingStyle::Undo)
+                return g;
+        }
+        ADD_FAILURE() << "no golden case";
+        return GoldenCase{};
+    };
+    const GoldenCase fg = of(SchemeKind::FG);
+    const GoldenCase slpmt = of(SchemeKind::SLPMT);
+    const GoldenCase atom = of(SchemeKind::ATOM);
+    const GoldenCase ede = of(SchemeKind::EDE);
+    EXPECT_LT(slpmt.cycles, fg.cycles);
+    EXPECT_LT(slpmt.cycles, atom.cycles);
+    EXPECT_LT(slpmt.cycles, ede.cycles);
+    EXPECT_LT(slpmt.pmWriteBytes, fg.pmWriteBytes);
+    EXPECT_LT(slpmt.undoWireBytes, fg.undoWireBytes);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

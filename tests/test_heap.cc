@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "core/heap.hh"
 
 namespace slpmt

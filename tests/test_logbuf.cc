@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "core/pm_system.hh"
 #include "logbuf/log_buffer.hh"
 

@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "mem/dram_device.hh"
 #include "mem/pm_device.hh"
 

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The stats registry: registration semantics (including the
+ * wiring-bug panics), histogram bucket-edge behaviour, reset, the
+ * flattened snapshot/delta algebra, and the stable JSON dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "stats/stats.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+TEST(Stats, CounterAccumulates)
+{
+    StatsRegistry reg;
+    auto c = reg.counter("a.b");
+    c++;
+    c += 41;
+    EXPECT_EQ(c.get(), 42u);
+    EXPECT_EQ(reg.get("a.b"), 42u);
+}
+
+TEST(Stats, ReRegisteringSameKindSharesTheInstrument)
+{
+    StatsRegistry reg;
+    auto c1 = reg.counter("shared");
+    auto c2 = reg.counter("shared");
+    c1 += 3;
+    c2 += 4;
+    EXPECT_EQ(reg.get("shared"), 7u);
+
+    auto h1 = reg.histogram("hist", {1, 4});
+    auto h2 = reg.histogram("hist", {1, 4});
+    h1.record(2);
+    h2.record(5);
+    EXPECT_EQ(reg.get("hist.count"), 2u);
+}
+
+TEST(Stats, KindCollisionPanics)
+{
+    StatsRegistry reg;
+    reg.counter("name");
+    EXPECT_THROW(reg.gauge("name"), PanicError);
+    EXPECT_THROW(reg.histogram("name", {1}), PanicError);
+
+    reg.gauge("g");
+    EXPECT_THROW(reg.counter("g"), PanicError);
+
+    reg.histogram("h", {1, 2});
+    EXPECT_THROW(reg.counter("h"), PanicError);
+}
+
+TEST(Stats, HistogramBoundsCollisionPanics)
+{
+    StatsRegistry reg;
+    reg.histogram("h", {1, 2, 3});
+    EXPECT_THROW(reg.histogram("h", {1, 2}), PanicError);
+    EXPECT_THROW(reg.histogram("h", {1, 2, 4}), PanicError);
+}
+
+TEST(Stats, HistogramBoundsMustBeStrictlyIncreasing)
+{
+    StatsRegistry reg;
+    EXPECT_THROW(reg.histogram("empty", {}), PanicError);
+    EXPECT_THROW(reg.histogram("equal", {4, 4}), PanicError);
+    EXPECT_THROW(reg.histogram("desc", {4, 2}), PanicError);
+}
+
+TEST(Stats, HistogramBucketEdgesAreInclusiveUpperBounds)
+{
+    StatsRegistry reg;
+    auto h = reg.histogram("h", {10, 100});
+    h.record(0);    // le10
+    h.record(10);   // le10: bounds are inclusive
+    h.record(11);   // le100
+    h.record(100);  // le100
+    h.record(101);  // inf
+    EXPECT_EQ(reg.get("h.le10"), 2u);
+    EXPECT_EQ(reg.get("h.le100"), 2u);
+    EXPECT_EQ(reg.get("h.inf"), 1u);
+    EXPECT_EQ(reg.get("h.count"), 5u);
+    EXPECT_EQ(reg.get("h.sum"), 222u);
+    EXPECT_EQ(h.get()->min, 0u);
+    EXPECT_EQ(h.get()->max, 101u);
+}
+
+TEST(Stats, ResetZeroesValuesButKeepsRegistration)
+{
+    StatsRegistry reg;
+    auto c = reg.counter("c");
+    auto g = reg.gauge("g");
+    auto h = reg.histogram("h", {8});
+    c += 5;
+    g.set(9);
+    h.record(3);
+
+    reg.reset();
+    EXPECT_EQ(c.get(), 0u);
+    EXPECT_EQ(g.get(), 0u);
+    EXPECT_EQ(reg.get("h.count"), 0u);
+    EXPECT_EQ(reg.get("h.le8"), 0u);
+
+    // Handles stay live and the names still flatten.
+    c += 2;
+    h.record(1);
+    const StatsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.at("c"), 2u);
+    EXPECT_EQ(snap.at("h.count"), 1u);
+    EXPECT_EQ(snap.count("g"), 1u);
+
+    // Re-registering after reset still panics on a kind change.
+    EXPECT_THROW(reg.counter("g"), PanicError);
+}
+
+TEST(Stats, SnapshotDeltaClampsAtZero)
+{
+    StatsRegistry reg;
+    auto g = reg.gauge("g");
+    auto c = reg.counter("c");
+    g.set(10);
+    const StatsSnapshot before = reg.snapshot();
+    g.set(3);  // gauges may go down
+    c += 7;
+    const StatsSnapshot d = StatsRegistry::delta(before, reg.snapshot());
+    EXPECT_EQ(d.at("g"), 0u);
+    EXPECT_EQ(d.at("c"), 7u);
+}
+
+TEST(Stats, StatGroupPrefixesAndNests)
+{
+    StatsRegistry reg;
+    StatGroup top(reg, "logbuf");
+    StatGroup tier = top.group("tier0");
+    auto c = tier.counter("records");
+    c += 2;
+    EXPECT_EQ(reg.get("logbuf.tier0.records"), 2u);
+    EXPECT_EQ(tier.prefix(), "logbuf.tier0");
+}
+
+TEST(Stats, JsonKeysAreSortedAndStable)
+{
+    StatsRegistry reg;
+    // Register out of order: the dump must sort.
+    reg.counter("zeta") += 1;
+    reg.histogram("mid.hist", {2}).record(1);
+    reg.counter("alpha") += 3;
+
+    const std::string json = reg.toJson();
+    const std::size_t alpha = json.find("\"alpha\"");
+    const std::size_t mid = json.find("\"mid.hist\"");
+    const std::size_t zeta = json.find("\"zeta\"");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(mid, std::string::npos);
+    ASSERT_NE(zeta, std::string::npos);
+    EXPECT_LT(alpha, mid);
+    EXPECT_LT(mid, zeta);
+
+    // Byte-identical across registries built in different orders.
+    StatsRegistry reg2;
+    reg2.counter("alpha") += 3;
+    reg2.counter("zeta") += 1;
+    reg2.histogram("mid.hist", {2}).record(1);
+    EXPECT_EQ(json, reg2.toJson());
+
+    // And the dump itself parses back.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, &doc, &error)) << error;
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue *a = doc.find("alpha");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->number, 3.0);
+    const JsonValue *h = doc.find("mid.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_TRUE(h->isObject());
+    ASSERT_NE(h->find("count"), nullptr);
+    EXPECT_EQ(h->find("count")->number, 1.0);
+}
+
+TEST(Stats, DefaultConstructedHandlesAreInert)
+{
+    StatsRegistry::Counter c;
+    StatsRegistry::Gauge g;
+    StatsRegistry::Histogram h;
+    c += 5;
+    g.set(2);
+    h.record(1);
+    EXPECT_EQ(c.get(), 0u);
+    EXPECT_EQ(g.get(), 0u);
+    EXPECT_EQ(h.get(), nullptr);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

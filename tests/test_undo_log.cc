@@ -10,7 +10,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "txn/undo_log_area.hh"
 
 namespace slpmt
