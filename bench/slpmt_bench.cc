@@ -38,7 +38,16 @@ usage(const char *prog)
         "                      regression\n"
         "  --threshold=FRAC    relative regression bound (default "
         "0.05)\n"
-        "  --no-tables         skip the figure tables\n",
+        "  --no-tables         skip the figure tables\n"
+        "  --profile[=FILE]    self-profiling harness: per-cell wall\n"
+        "                      clock, simulated cycles/sec and peak\n"
+        "                      RSS to FILE (default BENCH_speed.json)\n"
+        "  --profile-compare   also time the index-disabled full-scan\n"
+        "                      mode and record the speedup\n"
+        "  --speed-baseline=F  diff wall-clock against a recorded\n"
+        "                      speed profile; exit 3 on regression\n"
+        "  --speed-threshold=N wall-clock regression bound (default "
+        "3.0)\n",
         prog, prog);
 }
 

@@ -4,13 +4,21 @@
  * three levels of the hierarchy. The array itself is policy-free: the
  * CacheHierarchy decides what happens to victims and how metadata
  * moves between levels.
+ *
+ * The array also owns the level's metadata line index: an intrusive
+ * doubly-linked list threading through the CacheLine frames that
+ * currently carry transactional metadata (persist bit, log bits, or
+ * an owning transaction ID). Transaction-boundary sweeps walk the
+ * index instead of scanning every frame, making them O(working set);
+ * syncMetaIndex() must be called after any mutation that may change a
+ * frame's valid-and-has-metadata state.
  */
 
 #ifndef SLPMT_CACHE_CACHE_HH
 #define SLPMT_CACHE_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -64,14 +72,22 @@ class Cache
     const CacheLine *
     find(Addr addr) const
     {
-        return const_cast<Cache *>(this)->find(addr);
+        const Addr base = lineBase(addr);
+        for (const auto &line : setOf(base)) {
+            if (line.valid() && line.tag == base)
+                return &line;
+        }
+        return nullptr;
     }
 
     /**
-     * Choose the victim frame for filling @p addr: an invalid way if
-     * one exists, otherwise the LRU way. The caller must handle any
-     * valid victim (writeback, metadata propagation) before reusing
-     * the frame.
+     * Choose the victim frame for filling @p addr. The tie-break is
+     * deterministic so replacement order is stable across refactors:
+     * the first (lowest-way) invalid frame of the set wins if any way
+     * is invalid; otherwise the LRU way, and on equal timestamps the
+     * lowest way (strict less-than keeps the earliest scanned). The
+     * caller must handle any valid victim (writeback, metadata
+     * propagation) before reusing the frame.
      */
     CacheLine &
     victimFor(Addr addr)
@@ -90,9 +106,14 @@ class Cache
     /** Bump a line's LRU timestamp. */
     void touch(CacheLine &line) { line.lastUse = ++useClock; }
 
-    /** Apply @p fn to every valid line (scans for commit/abort). */
+    /**
+     * Apply @p fn to every valid line (full-array scans: flush,
+     * invalidation, audits). Takes any callable directly — the scan
+     * is a hot path and must not pay a std::function indirection.
+     */
+    template <typename Fn>
     void
-    forEachValid(const std::function<void(CacheLine &)> &fn)
+    forEachValid(Fn &&fn)
     {
         for (auto &line : lines) {
             if (line.valid())
@@ -104,13 +125,20 @@ class Cache
     void
     invalidateAll()
     {
-        for (auto &line : lines)
+        for (auto &line : lines) {
             line.invalidate();
+            line.metaPrev = nullptr;
+            line.metaNext = nullptr;
+            line.metaLinked = false;
+        }
+        metaHead = nullptr;
+        metaCount = 0;
     }
 
     /** Count valid lines matching a predicate (test support). */
+    template <typename Pred>
     std::size_t
-    countIf(const std::function<bool(const CacheLine &)> &pred) const
+    countIf(Pred &&pred) const
     {
         std::size_t n = 0;
         for (const auto &line : lines) {
@@ -119,6 +147,111 @@ class Cache
         }
         return n;
     }
+
+    /** @name Metadata line index */
+    /** @{ */
+
+    /** @p line is a frame of this array (not a detached copy). */
+    bool
+    owns(const CacheLine *line) const
+    {
+        return line >= lines.data() && line < lines.data() + lines.size();
+    }
+
+    /**
+     * Re-evaluate @p line's index membership after a metadata or
+     * validity change: link it when it is valid and carries metadata,
+     * unlink it otherwise. Idempotent; O(1).
+     */
+    void
+    syncMetaIndex(CacheLine &line)
+    {
+        const bool should = line.valid() && line.hasTxnMeta();
+        if (should == line.metaLinked)
+            return;
+        if (should) {
+            line.metaPrev = nullptr;
+            line.metaNext = metaHead;
+            if (metaHead)
+                metaHead->metaPrev = &line;
+            metaHead = &line;
+            line.metaLinked = true;
+            ++metaCount;
+        } else {
+            if (line.metaPrev)
+                line.metaPrev->metaNext = line.metaNext;
+            else
+                metaHead = line.metaNext;
+            if (line.metaNext)
+                line.metaNext->metaPrev = line.metaPrev;
+            line.metaPrev = nullptr;
+            line.metaNext = nullptr;
+            line.metaLinked = false;
+            --metaCount;
+        }
+    }
+
+    /** Number of indexed (metadata-carrying) lines. */
+    std::size_t metaLineCount() const { return metaCount; }
+
+    /**
+     * Append every indexed line to @p out in frame order (the order a
+     * full array scan would visit them), so index walks reproduce the
+     * historical scan order byte-for-byte. O(working set log working
+     * set) for the sort — the list itself is unordered.
+     */
+    void
+    collectMetaLines(std::vector<CacheLine *> &out)
+    {
+        const std::size_t first = out.size();
+        for (CacheLine *line = metaHead; line; line = line->metaNext)
+            out.push_back(line);
+        std::sort(out.begin() + first, out.end());
+    }
+
+    /**
+     * Audit the index against a brute-force scan: every valid frame's
+     * linked flag matches its metadata state, and the list reaches
+     * exactly the linked frames. @return false with a diagnostic in
+     * @p why on the first violation.
+     */
+    bool
+    checkMetaIndex(std::string *why) const
+    {
+        std::size_t expect = 0;
+        for (const auto &line : lines) {
+            const bool should = line.valid() && line.hasTxnMeta();
+            if (should != line.metaLinked) {
+                if (why)
+                    *why = config.name + ": frame for tag " +
+                           std::to_string(line.tag) +
+                           (should ? " has metadata but is not indexed"
+                                   : " is indexed without metadata");
+                return false;
+            }
+            expect += should ? 1 : 0;
+        }
+        std::size_t reached = 0;
+        for (const CacheLine *line = metaHead; line;
+             line = line->metaNext) {
+            if (!owns(line) || !line->metaLinked ||
+                reached++ > lines.size()) {
+                if (why)
+                    *why = config.name + ": corrupt meta list node";
+                return false;
+            }
+        }
+        if (reached != expect || metaCount != expect) {
+            if (why)
+                *why = config.name + ": meta list reaches " +
+                       std::to_string(reached) + " of " +
+                       std::to_string(expect) + " lines (count " +
+                       std::to_string(metaCount) + ")";
+            return false;
+        }
+        return true;
+    }
+    /** @} */
 
   private:
     std::span<CacheLine>
@@ -129,10 +262,22 @@ class Cache
         return {lines.data() + index * config.ways, config.ways};
     }
 
+    std::span<const CacheLine>
+    setOf(Addr base) const
+    {
+        const std::size_t index =
+            static_cast<std::size_t>(base / cacheLineSize) & (numSets - 1);
+        return {lines.data() + index * config.ways, config.ways};
+    }
+
     CacheConfig config;
     std::size_t numSets;
     std::vector<CacheLine> lines;
     std::uint64_t useClock = 0;
+
+    /** Head of the unordered intrusive metadata line list. */
+    CacheLine *metaHead = nullptr;
+    std::size_t metaCount = 0;
 };
 
 } // namespace slpmt

@@ -49,7 +49,36 @@ struct CacheLine
     std::uint64_t lastUse = 0;    //!< LRU timestamp
     std::array<std::uint8_t, cacheLineSize> data{};
 
+    /**
+     * @name Metadata line index (intrusive)
+     *
+     * L1 and L2 thread a doubly-linked list through their frames so
+     * transaction-boundary sweeps visit only lines that actually carry
+     * metadata — O(working set) instead of O(cache capacity). The list
+     * is owned by the level's Cache (see Cache::syncMetaIndex()); the
+     * links are meaningless for detached CacheLine copies and for L3
+     * frames, which never carry metadata. Field-wise copies used for
+     * data movement between levels deliberately leave them untouched.
+     */
+    /** @{ */
+    CacheLine *metaPrev = nullptr;
+    CacheLine *metaNext = nullptr;
+    bool metaLinked = false;
+    /** @} */
+
     bool valid() const { return state != MesiState::Invalid; }
+
+    /**
+     * The line carries transactional metadata and must be visited by
+     * boundary sweeps. Matches the private-eviction hook predicate in
+     * CacheHierarchy::evictFromL2 — the two must stay in sync with the
+     * index maintenance rule.
+     */
+    bool
+    hasTxnMeta() const
+    {
+        return persistBit || logBits != 0 || txnId != noTxnId;
+    }
 
     /** Clear all transactional metadata (line content untouched). */
     void

@@ -125,6 +125,8 @@ CacheHierarchy::promoteToL1(CacheLine &l2_line, Cycles now,
     frame.txnId = l2_line.txnId;
     frame.txnSeq = l2_line.txnSeq;
     l2_line.clearTxnMeta();
+    l1Cache.syncMetaIndex(frame);
+    l2Cache.syncMetaIndex(l2_line);
 
     l1Cache.touch(frame);
     return frame;
@@ -166,8 +168,10 @@ CacheHierarchy::evictFromL1(CacheLine &victim, Cycles now)
     l2_line->logBits = aggregateLogBits(log_bits);
     l2_line->txnId = victim.txnId;
     l2_line->txnSeq = victim.txnSeq;
+    l2Cache.syncMetaIndex(*l2_line);
 
     victim.invalidate();
+    l1Cache.syncMetaIndex(victim);
     return latency;
 }
 
@@ -188,6 +192,7 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
         latency += evictClient->evictingPrivateLine(victim, now);
     }
     victim.clearTxnMeta();
+    l2Cache.syncMetaIndex(victim);
 
     // Install into L3 (the copy may already exist — it usually does,
     // because fills pass through L3).
@@ -234,6 +239,7 @@ CacheHierarchy::evictFromL3(CacheLine &victim, Cycles now)
         victim.data = l2_copy->data;
         victim.dirty = victim.dirty || l2_copy->dirty;
         l2_copy->invalidate();
+        l2Cache.syncMetaIndex(*l2_copy);
     }
 
     if (victim.dirty) {
@@ -301,13 +307,11 @@ CacheHierarchy::findPrivate(Addr addr)
 }
 
 void
-CacheHierarchy::forEachPrivate(const std::function<void(CacheLine &)> &fn)
+CacheHierarchy::auditMetaIndex() const
 {
-    l1Cache.forEachValid(fn);
-    l2Cache.forEachValid([&](CacheLine &line) {
-        if (!l1Cache.find(line.tag))
-            fn(line);
-    });
+    std::string why;
+    if (!l1Cache.checkMetaIndex(&why) || !l2Cache.checkMetaIndex(&why))
+        panic("metadata line index diverged from full scan: " + why);
 }
 
 Cycles
@@ -339,10 +343,14 @@ CacheHierarchy::persistPrivateLine(CacheLine &line, PersistKind kind,
 void
 CacheHierarchy::invalidateLineEverywhere(Addr addr)
 {
-    if (CacheLine *line = l1Cache.find(addr))
+    if (CacheLine *line = l1Cache.find(addr)) {
         line->invalidate();
-    if (CacheLine *line = l2Cache.find(addr))
+        l1Cache.syncMetaIndex(*line);
+    }
+    if (CacheLine *line = l2Cache.find(addr)) {
         line->invalidate();
+        l2Cache.syncMetaIndex(*line);
+    }
     if (CacheLine *line = l3Cache.find(addr))
         line->invalidate();
 }

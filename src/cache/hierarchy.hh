@@ -22,8 +22,6 @@
 #ifndef SLPMT_CACHE_HIERARCHY_HH
 #define SLPMT_CACHE_HIERARCHY_HH
 
-#include <functional>
-
 #include "cache/cache.hh"
 #include "stats/stats.hh"
 #include "mem/address_map.hh"
@@ -108,11 +106,86 @@ class CacheHierarchy
     CacheLine *findPrivate(Addr addr);
 
     /**
-     * Apply @p fn to every metadata-bearing private line: all valid L1
-     * lines, plus valid L2 lines with no L1 copy. Exactly one call per
-     * distinct cached line.
+     * Apply @p fn to every metadata-bearing private line: indexed L1
+     * lines first, then indexed L2 lines with no L1 copy, each level
+     * in frame order — exactly the order (and exactly the lines on
+     * which @p fn acts) that the historical full scan produced, so
+     * the cycle-charging sweeps stay byte-identical. O(working set).
+     *
+     * The walk snapshots the index before applying @p fn, so @p fn
+     * may clear metadata (unlinking lines) freely; it must not create
+     * new metadata lines mid-sweep.
+     *
+     * With the index disabled (profiling comparisons) this falls back
+     * to the historical full scan over every valid private frame;
+     * callers filter on metadata anyway, so results are identical.
+     * With auditing enabled, every walk first cross-checks the index
+     * against a brute-force scan and panics on divergence.
      */
-    void forEachPrivate(const std::function<void(CacheLine &)> &fn);
+    template <typename Fn>
+    void
+    forEachPrivate(Fn &&fn)
+    {
+        if (!metaIndexEnabled) {
+            l1Cache.forEachValid(fn);
+            l2Cache.forEachValid([&](CacheLine &line) {
+                if (!l1Cache.find(line.tag))
+                    fn(line);
+            });
+            return;
+        }
+        if (metaIndexAudit)
+            auditMetaIndex();
+        std::vector<CacheLine *> snapshot;
+        snapshot.reserve(l1Cache.metaLineCount() +
+                         l2Cache.metaLineCount());
+        l1Cache.collectMetaLines(snapshot);
+        const std::size_t l1_end = snapshot.size();
+        l2Cache.collectMetaLines(snapshot);
+        for (std::size_t i = 0; i < snapshot.size(); ++i) {
+            // The metadata-ownership invariant says an indexed L2 line
+            // has no L1 copy; keep the historical guard regardless so
+            // a hand-built state (tests) cannot double-visit a line.
+            if (i >= l1_end && l1Cache.find(snapshot[i]->tag))
+                continue;
+            fn(*snapshot[i]);
+        }
+    }
+
+    /**
+     * Re-evaluate a private line's membership in the metadata line
+     * index after its metadata changed. The transaction engine calls
+     * this after mutating metadata on lines it obtained from access()
+     * or findPrivate(); internal metadata movement (promotion, merge,
+     * eviction, invalidation) is maintained by the hierarchy itself.
+     * Lines not owned by L1 or L2 (L3 frames, detached copies) are
+     * ignored.
+     */
+    void
+    noteMetaUpdate(CacheLine &line)
+    {
+        if (l1Cache.owns(&line))
+            l1Cache.syncMetaIndex(line);
+        else if (l2Cache.owns(&line))
+            l2Cache.syncMetaIndex(line);
+    }
+
+    /**
+     * Run the index-vs-full-scan cross-check on both private levels.
+     * @return false with a diagnostic when the index diverges.
+     */
+    bool
+    verifyMetaIndex(std::string *why) const
+    {
+        return l1Cache.checkMetaIndex(why) && l2Cache.checkMetaIndex(why);
+    }
+
+    /** Disable the index (forEachPrivate falls back to full scans) —
+     *  for the self-profiling harness's before/after comparison. */
+    void setMetaIndexEnabled(bool on) { metaIndexEnabled = on; }
+
+    /** Cross-check the index against a full scan on every walk. */
+    void setMetaIndexAudit(bool on) { metaIndexAudit = on; }
 
     /**
      * Persist a private line to PM and mark every cached copy clean
@@ -141,6 +214,9 @@ class CacheHierarchy
     Cache &l3() { return l3Cache; }
 
   private:
+    /** Panic if the metadata line index diverges from a full scan. */
+    void auditMetaIndex() const;
+
     /** Ensure the line is resident in L2+L3; returns fill latency. */
     Cycles ensureInL2(Addr addr, Cycles now);
 
@@ -163,6 +239,15 @@ class CacheHierarchy
     Cache l3Cache;
     EvictionClient *evictClient = nullptr;
     bool speculativeRounding = false;
+
+    /** Metadata line index controls (see forEachPrivate()). Auditing
+     *  defaults on in assertion builds, off in optimised ones. */
+    bool metaIndexEnabled = true;
+#ifdef NDEBUG
+    bool metaIndexAudit = false;
+#else
+    bool metaIndexAudit = true;
+#endif
 
     StatsRegistry::Counter statL1Hits;
     StatsRegistry::Counter statL1Misses;

@@ -35,6 +35,18 @@ mix64(std::uint64_t x)
 }
 
 /**
+ * Salted stateless mix: one hash function of a salt-indexed family.
+ * Exactly mix64(x ^ salt) — the signature hash of Section III-C3 —
+ * named so callers that precompute a whole probe and callers that mix
+ * inline provably evaluate the same expression.
+ */
+constexpr std::uint64_t
+mix64Salted(std::uint64_t x, std::uint64_t salt)
+{
+    return mix64(x ^ salt);
+}
+
+/**
  * xoshiro256** generator. Small, fast, and deterministic across
  * platforms; quality is far beyond what workload generation needs.
  */

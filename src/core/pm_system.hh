@@ -38,6 +38,9 @@ struct SystemConfig
     PmConfig pm;
     DramConfig dram;
     HierarchyConfig hierarchy;
+
+    /** Metadata line index toggle (see ExperimentConfig::useMetaIndex). */
+    bool useMetaIndex = true;
 };
 
 /** Number of 8-byte durable root slots in the root directory. */
@@ -58,6 +61,7 @@ class PmSystem
                  config.map.heapSize() - rootDirBytes, statsReg)
     {
         policy = &manualPolicy;
+        hier.setMetaIndexEnabled(config.useMetaIndex);
     }
 
     /** @name Component access */

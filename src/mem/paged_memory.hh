@@ -5,6 +5,13 @@
  * Devices model multi-hundred-megabyte address ranges of which a
  * workload touches only a fraction; pages are allocated on first touch
  * so the host-side footprint tracks the simulated working set.
+ *
+ * Accesses show heavy page locality (a 64-byte cache-line transfer is
+ * 64× smaller than a page, and workloads stride within regions), so a
+ * single-entry cache of the last page looked up short-circuits the
+ * hash-map probe on the common repeat hit. Page payloads live behind
+ * unique_ptr, so the cached pointer stays valid across map rehashes;
+ * it is dropped whenever the page set changes.
  */
 
 #ifndef SLPMT_MEM_PAGED_MEMORY_HH
@@ -35,11 +42,11 @@ class PagedMemory
             const Addr page = addr / pageSize;
             const std::size_t off = addr % pageSize;
             const std::size_t chunk = std::min(len, pageSize - off);
-            auto it = pages.find(page);
-            if (it == pages.end())
+            const Page *p = lookup(page);
+            if (!p)
                 std::memset(dst, 0, chunk);
             else
-                std::memcpy(dst, it->second->data() + off, chunk);
+                std::memcpy(dst, p->data() + off, chunk);
             addr += chunk;
             dst += chunk;
             len -= chunk;
@@ -55,12 +62,20 @@ class PagedMemory
             const Addr page = addr / pageSize;
             const std::size_t off = addr % pageSize;
             const std::size_t chunk = std::min(len, pageSize - off);
-            auto &slot = pages[page];
-            if (!slot) {
-                slot = std::make_unique<Page>();
-                slot->fill(0);
+            Page *p = nullptr;
+            if (lastPage && lastPageNum == page) {
+                p = lastPage;
+            } else {
+                auto &slot = pages[page];
+                if (!slot) {
+                    slot = std::make_unique<Page>();
+                    slot->fill(0);
+                }
+                p = slot.get();
+                lastPageNum = page;
+                lastPage = p;
             }
-            std::memcpy(slot->data() + off, from, chunk);
+            std::memcpy(p->data() + off, from, chunk);
             addr += chunk;
             from += chunk;
             len -= chunk;
@@ -68,14 +83,38 @@ class PagedMemory
     }
 
     /** Drop every page (simulates losing the medium's contents). */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        lastPage = nullptr;
+    }
 
     /** Number of pages materialised so far. */
     std::size_t pageCount() const { return pages.size(); }
 
   private:
     using Page = std::array<std::uint8_t, pageSize>;
+
+    /** Find a present page, preferring the single-entry cache. The
+     *  cache only ever holds present pages — a miss is not cached, so
+     *  a later write materialising the page cannot be shadowed. */
+    const Page *
+    lookup(Addr page) const
+    {
+        if (lastPage && lastPageNum == page)
+            return lastPage;
+        auto it = pages.find(page);
+        if (it == pages.end())
+            return nullptr;
+        lastPageNum = page;
+        lastPage = it->second.get();
+        return lastPage;
+    }
+
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    mutable Addr lastPageNum = 0;
+    mutable Page *lastPage = nullptr;
 };
 
 } // namespace slpmt

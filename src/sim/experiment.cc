@@ -13,6 +13,7 @@ runExperiment(const std::string &workload_name,
     sys_cfg.scheme.numTxnIds = cfg.numTxnIds;
     sys_cfg.style = cfg.style;
     sys_cfg.pm.writeLatencyNs = cfg.pmWriteLatencyNs;
+    sys_cfg.useMetaIndex = cfg.useMetaIndex;
 
     PmSystem sys(sys_cfg);
     auto workload = makeWorkload(workload_name);

@@ -43,6 +43,12 @@ struct ExperimentConfig
     std::uint64_t pmWriteLatencyNs = 500;  //!< Figure 12 sweep knob
     bool speculativeRounding = false;      //!< Section III-B1 ablation
     std::uint8_t numTxnIds = 4;            //!< lazy-depth ablation
+
+    /** Simulator-internal: walk transaction sweeps via the metadata
+     *  line index (default) or the historical full cache scan. Both
+     *  produce identical results; the toggle exists so the profiling
+     *  harness can measure the index's host-side speedup. */
+    bool useMetaIndex = true;
 };
 
 /** Metrics of the measured insert phase plus verification outcome. */

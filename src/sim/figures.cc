@@ -1,5 +1,7 @@
 #include "sim/figures.hh"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -620,6 +622,40 @@ parseCommonFlag(const std::string &arg, BenchOptions *opts,
         opts->tables = false;
         return 1;
     }
+    if (arg == "--profile") {
+        opts->profile = true;
+        return 1;
+    }
+    if (startsWith("--profile=")) {
+        opts->profile = true;
+        opts->profilePath = valueOf("--profile=");
+        if (opts->profilePath.empty()) {
+            *error = "empty --profile path";
+            return -1;
+        }
+        return 1;
+    }
+    if (arg == "--profile-compare") {
+        opts->profile = true;
+        opts->profileCompare = true;
+        return 1;
+    }
+    if (startsWith("--speed-baseline=")) {
+        opts->profile = true;
+        opts->speedBaselinePath = valueOf("--speed-baseline=");
+        return 1;
+    }
+    if (startsWith("--speed-threshold=")) {
+        const std::string v = valueOf("--speed-threshold=");
+        char *end = nullptr;
+        const double t = std::strtod(v.c_str(), &end);
+        if (v.empty() || *end || t <= 0) {
+            *error = "bad --speed-threshold value: " + v;
+            return -1;
+        }
+        opts->speedThreshold = t;
+        return 1;
+    }
     return 0;
 }
 
@@ -641,11 +677,210 @@ readFile(const std::string &path, std::string *out)
     return true;
 }
 
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    return true;
+}
+
+/** Process peak resident set size in kilobytes (Linux getrusage). */
+std::uint64_t
+peakRssKb()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+std::uint64_t
+elapsedMicros(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/** Wall-clock below which speed regressions are never flagged: tiny
+ *  sweeps on a loaded machine jitter by more than any real factor. */
+constexpr std::uint64_t speedNoiseFloorUs = 250'000;
+
+/**
+ * The self-profiling harness behind --profile (see runBench() docs).
+ * Writes the "slpmt-speed-1" document and diffs wall-clock against a
+ * recorded one when requested.
+ */
+int
+runProfile(const BenchOptions &opts)
+{
+    JsonValue speed_baseline;
+    const bool have_baseline = !opts.speedBaselinePath.empty();
+    if (have_baseline) {
+        std::string text;
+        std::string error;
+        if (!readFile(opts.speedBaselinePath, &text) ||
+            !parseJson(text, &speed_baseline, &error)) {
+            std::fprintf(stderr, "cannot load speed baseline %s%s%s\n",
+                         opts.speedBaselinePath.c_str(),
+                         error.empty() ? "" : ": ", error.c_str());
+            return 2;
+        }
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("slpmt-speed-1");
+    w.key("figures").beginObject();
+
+    bool all_verified = true;
+    std::size_t regressions = 0;
+
+    for (const std::string &name : opts.figures) {
+        const FigureSpec *fig = findFigure(name);
+        if (!fig) {
+            std::fprintf(stderr, "unknown figure: %s\n", name.c_str());
+            return 2;
+        }
+
+        const std::vector<ExperimentCase> cases = fig->cases();
+
+        const auto indexed_start = std::chrono::steady_clock::now();
+        const MatrixResult result = runCases(cases, opts.workers);
+        const std::uint64_t wall_us = elapsedMicros(indexed_start);
+
+        std::string failures;
+        if (!result.allVerified(&failures)) {
+            all_verified = false;
+            std::fprintf(stderr, "VERIFICATION FAILURES (%s):\n%s",
+                         name.c_str(), failures.c_str());
+        }
+
+        std::uint64_t sim_cycles = 0;
+        for (const ExperimentResult &res : result.results)
+            sim_cycles += res.cycles;
+
+        w.key(name).beginObject();
+        w.key("cells").beginObject();
+        // Sorted cell keys, like the deterministic reports.
+        std::map<std::string, std::size_t> order;
+        for (std::size_t i = 0; i < result.cases.size(); ++i)
+            order.emplace(result.cases[i].key, i);
+        for (const auto &[key, i] : order) {
+            w.key(key).beginObject();
+            w.key("wallUs").value(result.wallMicros[i]);
+            w.key("simCycles").value(result.results[i].cycles);
+            if (result.wallMicros[i] > 0) {
+                w.key("simCyclesPerSec")
+                    .value(result.results[i].cycles * 1'000'000 /
+                           result.wallMicros[i]);
+            }
+            w.endObject();
+        }
+        w.endObject();
+        w.key("totalWallUs").value(wall_us);
+        w.key("totalSimCycles").value(sim_cycles);
+        if (wall_us > 0)
+            w.key("simCyclesPerSec")
+                .value(sim_cycles * 1'000'000 / wall_us);
+
+        double speedup = 0;
+        if (opts.profileCompare) {
+            // Same sweep with the metadata line index disabled: the
+            // historical O(cache capacity) sweeps. The reports must
+            // match byte for byte — the index is a pure host-side
+            // optimisation.
+            std::vector<ExperimentCase> full_scan = cases;
+            for (ExperimentCase &c : full_scan)
+                c.cfg.useMetaIndex = false;
+            const auto scan_start = std::chrono::steady_clock::now();
+            const MatrixResult scan_result =
+                runCases(std::move(full_scan), opts.workers);
+            const std::uint64_t scan_us = elapsedMicros(scan_start);
+
+            const bool match = reportJson(name, result, false) ==
+                               reportJson(name, scan_result, false);
+            if (!match) {
+                all_verified = false;
+                std::fprintf(stderr,
+                             "RESULT DIVERGENCE (%s): indexed and "
+                             "full-scan sweeps disagree\n",
+                             name.c_str());
+            }
+            speedup = wall_us ? static_cast<double>(scan_us) /
+                                    static_cast<double>(wall_us)
+                              : 0;
+            w.key("fullScanWallUs").value(scan_us);
+            w.key("speedup").value(speedup);
+            w.key("resultsMatch").value(match);
+        }
+        w.endObject();
+
+        std::fprintf(stderr, "%s: %zu cells, %.1f ms", name.c_str(),
+                     result.cases.size(),
+                     static_cast<double>(wall_us) / 1000.0);
+        if (opts.profileCompare)
+            std::fprintf(stderr, ", %.2fx vs full scan", speedup);
+        std::fprintf(stderr, "\n");
+
+        if (have_baseline) {
+            const JsonValue *recorded = nullptr;
+            if (const JsonValue *figs = speed_baseline.find("figures"))
+                if (const JsonValue *f = figs->find(name))
+                    recorded = f->find("totalWallUs");
+            if (!recorded || !recorded->isNumber()) {
+                std::fprintf(stderr,
+                             "speed baseline has no totalWallUs for "
+                             "%s\n",
+                             name.c_str());
+            } else {
+                const double before = recorded->number;
+                const double after = static_cast<double>(wall_us);
+                if (after > before * opts.speedThreshold &&
+                    wall_us > speedNoiseFloorUs) {
+                    std::fprintf(stderr,
+                                 "SPEED REGRESSION %s: %.1f ms -> "
+                                 "%.1f ms (%.2fx, bound %.2fx)\n",
+                                 name.c_str(), before / 1000.0,
+                                 after / 1000.0, after / before,
+                                 opts.speedThreshold);
+                    regressions++;
+                }
+            }
+        }
+    }
+
+    w.endObject();
+    w.key("peakRssKb").value(peakRssKb());
+    w.endObject();
+
+    if (!writeFile(opts.profilePath, w.str() + "\n")) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opts.profilePath.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "speed profile written to %s\n",
+                 opts.profilePath.c_str());
+
+    if (!all_verified)
+        return 1;
+    if (regressions > 0)
+        return 3;
+    return 0;
+}
+
 } // namespace
 
 int
 runBench(const BenchOptions &opts)
 {
+    if (opts.profile)
+        return runProfile(opts);
+
     // Load the baseline up front so a bad path fails before the sweep.
     JsonValue baseline;
     if (!opts.baselinePath.empty()) {

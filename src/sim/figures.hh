@@ -48,11 +48,22 @@ struct BenchOptions
     std::string baselinePath;          //!< empty = no diff
     double threshold = 0.05;           //!< relative regression bound
     bool tables = true;                //!< print the figure tables
+
+    /** @name Self-profiling harness (host-side performance) */
+    /** @{ */
+    bool profile = false;              //!< run the profiling harness
+    std::string profilePath = "BENCH_speed.json";
+    bool profileCompare = false;       //!< also time the full-scan mode
+    std::string speedBaselinePath;     //!< recorded BENCH_speed.json
+    double speedThreshold = 3.0;       //!< wall-clock regression bound
+    /** @} */
 };
 
 /**
  * Parse one common flag (--workers=N, --json[=FILE], --stats,
- * --baseline=FILE, --threshold=FRACTION, --no-tables).
+ * --baseline=FILE, --threshold=FRACTION, --no-tables,
+ * --profile[=FILE], --profile-compare, --speed-baseline=FILE,
+ * --speed-threshold=N).
  * @return 1 consumed, 0 not a common flag, -1 malformed (error set).
  */
 int parseCommonFlag(const std::string &arg, BenchOptions *opts,
@@ -61,6 +72,18 @@ int parseCommonFlag(const std::string &arg, BenchOptions *opts,
 /**
  * Run every figure in @p opts in order, print tables, emit the JSON
  * report(s) and diff against the baseline when requested.
+ *
+ * With opts.profile set, the self-profiling harness runs instead: each
+ * figure is timed (per-cell host wall-clock, simulated cycles per
+ * host second, process peak RSS) and a "slpmt-speed-1" JSON document
+ * is written to opts.profilePath. With opts.profileCompare the figure
+ * is run a second time with the metadata line index disabled — the
+ * historical full-scan sweeps — recording the wall-clock speedup the
+ * index delivers and checking both runs produce identical reports.
+ * With opts.speedBaselinePath set, each figure's wall-clock is diffed
+ * against the recorded document: exceeding speedThreshold x the
+ * recorded time (and a 250 ms absolute noise floor, so tiny sweeps on
+ * loaded machines cannot flake) is a regression.
  *
  * @return process exit code: 0 ok, 1 verification failure, 2 usage/io
  *         error, 3 baseline regression

@@ -1,5 +1,6 @@
 #include "sim/orchestrator.hh"
 
+#include <chrono>
 #include <exception>
 #include <map>
 #include <thread>
@@ -56,6 +57,7 @@ expandMatrix(const MatrixSpec &spec)
                         c.cfg.speculativeRounding =
                             spec.speculativeRounding;
                         c.cfg.numTxnIds = spec.numTxnIds;
+                        c.cfg.useMetaIndex = spec.useMetaIndex;
 
                         // Swept axes show up in the key; point axes
                         // keep the short workload/Scheme form.
@@ -120,6 +122,7 @@ runCases(std::vector<ExperimentCase> cases, std::size_t num_workers)
 {
     MatrixResult out;
     out.results.resize(cases.size());
+    out.wallMicros.resize(cases.size(), 0);
     out.cases = std::move(cases);
 
     if (num_workers == 0) {
@@ -133,6 +136,7 @@ runCases(std::vector<ExperimentCase> cases, std::size_t num_workers)
     // the schedule.
     runWorkStealing(num_workers, out.cases.size(), [&](std::size_t i) {
         const ExperimentCase &c = out.cases[i];
+        const auto start = std::chrono::steady_clock::now();
         try {
             out.results[i] = runExperiment(c.workload, c.cfg);
         } catch (const std::exception &e) {
@@ -143,6 +147,10 @@ runCases(std::vector<ExperimentCase> cases, std::size_t num_workers)
             res.failure = std::string("exception: ") + e.what();
             out.results[i] = res;
         }
+        out.wallMicros[i] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     });
     return out;
 }

@@ -56,6 +56,7 @@ struct MatrixSpec
     LoggingStyle style = LoggingStyle::Undo;
     bool speculativeRounding = false;
     std::uint8_t numTxnIds = 4;
+    bool useMetaIndex = true;  //!< host-side profiling toggle
 };
 
 /** Annotation-mode tag for cell keys ("none", "manual", "compiler"). */
@@ -79,6 +80,11 @@ class MatrixResult
   public:
     std::vector<ExperimentCase> cases;
     std::vector<ExperimentResult> results;  //!< parallel to cases
+
+    /** Host wall-clock per cell in microseconds (parallel to cases).
+     *  Profiling data only — never serialised into reports, which
+     *  must stay deterministic. */
+    std::vector<std::uint64_t> wallMicros;
 
     /** Cell lookup; fatal() when the key was never enumerated. */
     const ExperimentResult &get(const std::string &key) const;

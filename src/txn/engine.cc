@@ -94,6 +94,18 @@ TxnEngine::txCommit()
     clock += c;
 }
 
+std::vector<Addr>
+TxnEngine::sortedWriteSet() const
+{
+    // The hash set's iteration order is unspecified; every walk that
+    // charges cycles or touches PM must use this ascending-address
+    // order — the one the previous std::set produced — so reports
+    // stay byte-identical (determinism rule).
+    std::vector<Addr> order(redoWriteSet.begin(), redoWriteSet.end());
+    std::sort(order.begin(), order.end());
+    return order;
+}
+
 Cycles
 TxnEngine::commitUndo(Cycles when)
 {
@@ -127,6 +139,7 @@ TxnEngine::commitUndo(Cycles when)
             c += hier.persistPrivateLine(line, kind, when + c);
             c += costs.commitPersistAck;
             line.clearTxnMeta();
+            hier.noteMetaUpdate(line);
             statLinesPersistedAtCommit++;
         } else {
             lazy_left = true;
@@ -163,6 +176,7 @@ TxnEngine::commitRedo(Cycles when)
                                          when + c);
             c += costs.commitPersistAck;
             line.clearTxnMeta();
+            hier.noteMetaUpdate(line);
             statLinesPersistedAtCommit++;
         }
     });
@@ -186,13 +200,14 @@ TxnEngine::commitRedo(Cycles when)
     c += undoLog.append(marker, when + c, curSeq);
 
     // In-place updates of the logged data (write-back from the log).
-    for (Addr line_addr : redoWriteSet) {
+    for (Addr line_addr : sortedWriteSet()) {
         CacheLine *line = hier.findPrivate(line_addr);
         if (line && line->txnId == curId && line->txnSeq == curSeq) {
             c += hier.persistPrivateLine(*line, PersistKind::LoggedLine,
                                          when + c);
             c += costs.commitPersistAck;
             line->clearTxnMeta();
+            hier.noteMetaUpdate(*line);
             statLinesPersistedAtCommit++;
         } else {
             // Evicted during the transaction: refetch, restore the
@@ -205,6 +220,7 @@ TxnEngine::commitRedo(Cycles when)
                                          PersistKind::LoggedLine,
                                          when + c);
             res.line->clearTxnMeta();
+            hier.noteMetaUpdate(*res.line);
             statLinesPersistedAtCommit++;
         }
     }
@@ -242,6 +258,7 @@ TxnEngine::restoreRedoEvicted(CacheLine &line)
     line.txnId = curId;
     line.txnSeq = curSeq;
     line.persistBit = true;
+    hier.noteMetaUpdate(line);
     redoEvicted.erase(it);
 }
 
@@ -268,7 +285,7 @@ TxnEngine::txAbort()
     // Redo write-set lines whose private eviction was suppressed sit
     // in the shared cache as clean copies of the aborted data; drop
     // them too so post-abort reads refetch the old values from PM.
-    for (Addr addr : redoWriteSet)
+    for (Addr addr : sortedWriteSet())
         hier.invalidateLineEverywhere(addr);
 
     // (2) Kernel-space replay of the undo log onto PM; a redo log is
@@ -421,6 +438,8 @@ TxnEngine::storeSegment(Addr addr, const void *src, std::size_t len,
         c += schemeCfg.storeFenceCycles;
         redoWriteSet.insert(lineBase(addr));
     }
+    if (inTxn)
+        hier.noteMetaUpdate(line);
     return c;
 }
 
@@ -552,8 +571,11 @@ Cycles
 TxnEngine::checkSignaturesOnWrite(Addr addr, Cycles when)
 {
     // The checks themselves are off the critical path (Section
-    // III-C3); only forced persists cost time.
+    // III-C3); only forced persists cost time. All signatures share
+    // the hash functions, so the address is hashed once and the probe
+    // tested against every candidate.
     Cycles c = 0;
+    const Signature::Probe probe = Signature::probeFor(addr);
     bool again = true;
     while (again) {
         again = false;
@@ -562,7 +584,7 @@ TxnEngine::checkSignaturesOnWrite(Addr addr, Cycles when)
                 continue;
             if (!idState[id].lazyOutstanding)
                 continue;
-            if (idState[id].signature.mightContain(addr)) {
+            if (idState[id].signature.mightContain(probe)) {
                 statSigHits++;
                 c += costs.lazyScan;
                 c += persistLazyThrough(id, when + c,
@@ -626,6 +648,7 @@ TxnEngine::persistLazyOf(std::uint8_t id, Cycles when,
             reason++;
         }
         line.clearTxnMeta();
+        hier.noteMetaUpdate(line);
     });
     idState[id].signature.clear();
     idState[id].lazyOutstanding = false;
@@ -717,6 +740,7 @@ TxnEngine::evictingPrivateLine(CacheLine &line, Cycles when)
         redoEvicted[line.tag] = line.data;
         line.dirty = false;
         line.clearTxnMeta();
+        hier.noteMetaUpdate(line);
         return c;
     }
 
@@ -734,6 +758,7 @@ TxnEngine::evictingPrivateLine(CacheLine &line, Cycles when)
         statLazyDrainEviction++;
     }
     line.clearTxnMeta();
+    hier.noteMetaUpdate(line);
     return c;
 }
 
@@ -778,6 +803,7 @@ TxnEngine::persistRecord(const LogRecord &rec, Cycles when)
                     line->logBits &=
                         static_cast<std::uint8_t>(~(1U << idx));
                 }
+                hier.noteMetaUpdate(*line);
             }
         }
     }

@@ -23,8 +23,8 @@
 #include <array>
 #include <cstdint>
 #include <exception>
-#include <map>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -281,8 +281,19 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     std::uint64_t curSeq = 0;
     std::uint64_t globalSeq = 0;
 
-    /** Redo mode: lines written by the in-flight txn (volatile). */
-    std::set<Addr> redoWriteSet;
+    /**
+     * Redo mode: lines written by the in-flight txn (volatile). A hash
+     * set: the hot path only inserts and membership-tests. Every walk
+     * must go through sortedWriteSet() — the commit persists and the
+     * abort invalidations charge cycles per line, so iteration order
+     * is observable and must stay the ascending-address order the
+     * previous std::set produced (determinism rule: sort before any
+     * ordered output).
+     */
+    std::unordered_set<Addr> redoWriteSet;
+
+    /** The write set as a sorted drain order (see redoWriteSet). */
+    std::vector<Addr> sortedWriteSet() const;
 
     /**
      * Redo mode (no-steal): images of in-flight logged lines whose
@@ -290,9 +301,12 @@ class TxnEngine : public EvictionClient, public LogDrainSink
      * holds them as clean lines and may silently drop them, so the
      * engine restores the image on the next access — the software
      * stand-in for a hardware redo design servicing such reads from
-     * the log. Volatile; cleared on commit, abort and crash.
+     * the log. Volatile; cleared on commit, abort and crash. A hash
+     * map: accessed only by point lookup, never iterated, so no sort
+     * discipline is needed.
      */
-    std::map<Addr, std::array<std::uint8_t, cacheLineSize>> redoEvicted;
+    std::unordered_map<Addr, std::array<std::uint8_t, cacheLineSize>>
+        redoEvicted;
 
     /** Restore @p line's data from redoEvicted if it was stashed. */
     void restoreRedoEvicted(CacheLine &line);

@@ -9,6 +9,15 @@
  * persistent memory. All signatures share the same hash functions.
  * Section III-D sizes each signature at 2048 bits (256 bytes), four
  * signatures in total.
+ *
+ * Because the hash functions are shared, the slot set of an address is
+ * a property of the address alone: probeFor() computes it once and the
+ * result can be tested against every signature. The store-triggered
+ * check probes up to four signatures per store, so hoisting the mixing
+ * out of the loop quarters the hash work on that hot path. The hoisted
+ * and the per-call paths evaluate the identical expression
+ * (mix64Salted), so the filter bit pattern is unchanged — pinned by a
+ * unit test against hard-coded slot values.
  */
 
 #ifndef SLPMT_TXN_SIGNATURE_HH
@@ -32,23 +41,46 @@ class AddressSignature
     static constexpr std::size_t bits = NumBits;
     static constexpr std::size_t hashes = NumHashes;
 
-    /** Record a line address in the set. */
-    void
-    insert(Addr addr)
+    /**
+     * The precomputed slot set of one address. Valid against any
+     * signature of the same geometry (they share hash functions);
+     * compute once per coherence event, test many.
+     */
+    struct Probe
+    {
+        std::array<std::uint32_t, NumHashes> slots;
+    };
+
+    /** Hash an address into its slot set (line base taken once). */
+    static Probe
+    probeFor(Addr addr)
     {
         const Addr base = lineBase(addr);
+        Probe probe;
         for (std::size_t i = 0; i < NumHashes; ++i)
-            filter.set(slot(base, i));
+            probe.slots[i] = slot(base, i);
+        return probe;
+    }
+
+    /** Record a line address in the set. */
+    void insert(Addr addr) { insert(probeFor(addr)); }
+
+    void
+    insert(const Probe &probe)
+    {
+        for (const std::uint32_t s : probe.slots)
+            filter.set(s);
         count++;
     }
 
     /** May-contain test; false negatives are impossible. */
+    bool mightContain(Addr addr) const { return mightContain(probeFor(addr)); }
+
     bool
-    mightContain(Addr addr) const
+    mightContain(const Probe &probe) const
     {
-        const Addr base = lineBase(addr);
-        for (std::size_t i = 0; i < NumHashes; ++i) {
-            if (!filter.test(slot(base, i)))
+        for (const std::uint32_t s : probe.slots) {
+            if (!filter.test(s))
                 return false;
         }
         return true;
@@ -65,7 +97,7 @@ class AddressSignature
     std::uint64_t insertions() const { return count; }
 
   private:
-    static std::size_t
+    static std::uint32_t
     slot(Addr base, std::size_t i)
     {
         // All signatures share these hash functions (Section III-C3).
@@ -75,8 +107,8 @@ class AddressSignature
             0x85ebca6b27d4eb4fULL, 0xc2b2ae35d27d4ebbULL,
             0x2545f4914f6cdd1dULL, 0x94d049bb133111ebULL,
         };
-        return static_cast<std::size_t>(
-            mix64(base ^ salts[i % salts.size()]) % NumBits);
+        return static_cast<std::uint32_t>(
+            mix64Salted(base, salts[i % salts.size()]) % NumBits);
     }
 
     std::bitset<NumBits> filter;

@@ -70,6 +70,54 @@ TEST(Cache, LruVictimSelection)
     EXPECT_EQ(&c.victimFor(0x80), c.find(0x40));
 }
 
+TEST(Cache, VictimForPrefersFirstInvalidWay)
+{
+    Cache c(CacheConfig{"c", 4 * cacheLineSize, 4, 1});  // 1 set, 4 ways
+    // Fill ways 0 and 1; ways 2 and 3 stay invalid.
+    for (Addr a : {Addr{0x0}, Addr{0x40}}) {
+        CacheLine &line = c.victimFor(a);
+        line.tag = a;
+        line.state = MesiState::Exclusive;
+        c.touch(line);
+    }
+    // The first invalid way (way 2) wins, not the LRU valid way.
+    CacheLine &v1 = c.victimFor(0x80);
+    EXPECT_FALSE(v1.valid());
+    v1.tag = 0x80;
+    v1.state = MesiState::Exclusive;
+    CacheLine &v2 = c.victimFor(0xC0);
+    EXPECT_FALSE(v2.valid());
+    EXPECT_NE(&v1, &v2);
+    EXPECT_EQ(&v2, &v1 + 1);  // ways are scanned lowest-first
+}
+
+TEST(Cache, VictimForBreaksLruTiesByLowestWay)
+{
+    Cache c(CacheConfig{"c", 2 * cacheLineSize, 2, 1});
+    // Both ways valid with equal (default-zero) timestamps: the strict
+    // less-than comparison keeps the first-scanned, lowest way.
+    for (Addr a : {Addr{0x0}, Addr{0x40}}) {
+        CacheLine &line = c.victimFor(a);
+        line.tag = a;
+        line.state = MesiState::Exclusive;
+    }
+    EXPECT_EQ(&c.victimFor(0x80), c.find(0x0));
+}
+
+TEST(Cache, ConstFindMatchesMutableFind)
+{
+    Cache c(CacheConfig{"c", 2 * cacheLineSize, 2, 1});
+    CacheLine &a = c.victimFor(0x40);
+    a.tag = 0x40;
+    a.state = MesiState::Shared;
+    const Cache &cc = c;
+    EXPECT_EQ(cc.find(0x40), c.find(0x40));
+    EXPECT_EQ(cc.find(0x40), &a);
+    EXPECT_EQ(cc.find(0x0), nullptr);
+    // Offsets within the line resolve to the same frame.
+    EXPECT_EQ(cc.find(0x7F), &a);
+}
+
 class HierarchyTest : public ::testing::Test
 {
   protected:
@@ -134,6 +182,7 @@ TEST_F(HierarchyTest, MetadataMovesUpOnPromotion)
     res.line->logBits = 0xFF;
     res.line->txnId = 2;
     res.line->txnSeq = 77;
+    hier.noteMetaUpdate(*res.line);
 
     // Force the L1 set to evict the line: L1 has 64 sets * 8 ways;
     // lines mapping to the same set are 64*64 bytes apart.
@@ -165,6 +214,7 @@ TEST_F(HierarchyTest, PartialLogBitsLostOnAggregation)
     // Section III-B1).
     auto res = hier.access(pmAddr(), true, 0);
     res.line->logBits = 0x07;
+    hier.noteMetaUpdate(*res.line);
     const Addr stride = 64 * cacheLineSize;
     for (int i = 1; i <= 8; ++i)
         hier.access(pmAddr(i * stride), false, 0);
@@ -202,6 +252,7 @@ TEST_F(HierarchyTest, PrivateEvictionHookFiresForMetadataLines)
     auto res = hier.access(pmAddr(), true, 0);
     res.line->persistBit = true;
     res.line->txnId = 1;
+    hier.noteMetaUpdate(*res.line);
 
     // Evict from L1 into L2 (no hook yet), then from L2 into L3.
     const Addr l1_stride = 64 * cacheLineSize;
@@ -225,6 +276,7 @@ TEST_F(HierarchyTest, SpeculativeRoundingOfferedOnPartialGroups)
     auto res = hier.access(pmAddr(), true, 0);
     res.line->logBits = 0x07;  // missing word 3 in the low group
     res.line->txnId = 0;
+    hier.noteMetaUpdate(*res.line);
     const Addr stride = 64 * cacheLineSize;
     for (int i = 1; i <= 8; ++i)
         hier.access(pmAddr(i * stride), false, 0);
@@ -275,15 +327,39 @@ TEST_F(HierarchyTest, CrashDropsAllCaches)
     EXPECT_EQ(b, 0x00);  // the dirty write never reached PM
 }
 
-TEST_F(HierarchyTest, ForEachPrivateVisitsEachLineOnce)
+TEST_F(HierarchyTest, ForEachPrivateVisitsEachMetadataLineOnce)
 {
-    hier.access(pmAddr(0), true, 0);
-    hier.access(pmAddr(64), true, 0);
+    auto a = hier.access(pmAddr(0), true, 0);
+    a.line->txnId = 0;
+    hier.noteMetaUpdate(*a.line);
+    auto b = hier.access(pmAddr(64), true, 0);
+    b.line->persistBit = true;
+    hier.noteMetaUpdate(*b.line);
+    // A cached line without transactional metadata is skipped: no
+    // sweep acts on such lines.
+    hier.access(pmAddr(128), true, 0);
+
     std::size_t visits = 0;
-    hier.forEachPrivate([&](CacheLine &) { ++visits; });
-    // Each cached line visited exactly once even though copies exist
-    // in both L1 and L2.
+    hier.forEachPrivate([&](CacheLine &line) {
+        EXPECT_TRUE(line.hasTxnMeta());
+        ++visits;
+    });
+    // Each metadata line visited exactly once even though copies
+    // exist in both L1 and L2.
     EXPECT_EQ(visits, 2u);
+
+    std::string why;
+    EXPECT_TRUE(hier.verifyMetaIndex(&why)) << why;
+
+    // The full-scan fallback visits the same lines (callers filter on
+    // metadata, so the historical scan acted on the same set).
+    hier.setMetaIndexEnabled(false);
+    std::size_t fallback = 0;
+    hier.forEachPrivate([&](CacheLine &line) {
+        if (line.hasTxnMeta())
+            ++fallback;
+    });
+    EXPECT_EQ(fallback, 2u);
 }
 
 TEST_F(HierarchyTest, DramAddressesUseDramDevice)
