@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Multi-core scalability wrapper: the sweep and tables live in the
+ * figure registry (src/sim/figures.cc); this binary selects "mcscale".
+ */
+
+#include "sim/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return slpmt::runFigureMain("mcscale", argc, argv);
+}

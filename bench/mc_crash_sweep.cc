@@ -1,0 +1,232 @@
+/**
+ * @file
+ * mc_crash_sweep: CLI driver for the multicore crash-point sweep.
+ *
+ * Sweeps schemes x core counts of the interleaved YCSB run over
+ * stratified machine-wide power-failure points, validating recovery
+ * at each point against the scheduler-commit-order shadow oracle.
+ * Exit status is the number of sweeps that found violations.
+ *
+ * Typical runs:
+ *   mc_crash_sweep                          # sampled default sweep
+ *   mc_crash_sweep --full --workers=8       # every store, parallel
+ *   mc_crash_sweep --scheme=SLPMT --cores=4 --crash-point=117
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "multicore/mc_crash.hh"
+#include "workloads/factory.hh"
+
+namespace
+{
+
+using namespace slpmt;
+
+struct CliOptions
+{
+    std::vector<std::string> schemes = {"SLPMT", "FG"};
+    std::string workload = "hashtable";
+    LoggingStyle style = LoggingStyle::Undo;
+    std::vector<std::size_t> coreCounts = {2, 4};
+    std::size_t opsPerCore = 24;
+    std::size_t valueBytes = 32;
+    std::uint64_t seed = 42;
+    unsigned sharedPct = 25;
+    std::size_t maxPoints = 120;
+    bool tinyCache = false;
+    bool full = false;
+    std::size_t workers = 0;  //!< 0: hardware concurrency
+    long long crashPoint = -1;
+};
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+SchemeKind
+parseScheme(const std::string &name)
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::FG,    SchemeKind::FG_LG,    SchemeKind::FG_LZ,
+        SchemeKind::SLPMT, SchemeKind::SLPMT_CL, SchemeKind::ATOM,
+        SchemeKind::EDE,
+    };
+    for (SchemeKind kind : kinds) {
+        if (schemeName(kind) == name)
+            return kind;
+    }
+    std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+    std::exit(2);
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mc_crash_sweep [options]\n"
+        "  --scheme=A,B       schemes to sweep (default SLPMT,FG)\n"
+        "  --workload=NAME    workload (default hashtable)\n"
+        "  --style=undo|redo  logging style (default undo)\n"
+        "  --cores=A,B        core counts (default 2,4)\n"
+        "  --ops-per-core=N   ops per core (default 24)\n"
+        "  --value-bytes=N    value size (default 32)\n"
+        "  --seed=N           stream/interleaving seed (default 42)\n"
+        "  --shared-pct=N     shared-key op %% (default 25)\n"
+        "  --max-points=N     sampled point budget (default 120)\n"
+        "  --tiny-cache       shrink caches to force mid-txn "
+        "evictions\n"
+        "  --full             explore every store\n"
+        "  --workers=N        sweep threads (default: all cores)\n"
+        "  --crash-point=K    reproduce one point (single scheme and "
+        "core count); K=0 is the post-completion point\n");
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = val("--scheme")) {
+            opt.schemes = splitList(v);
+        } else if (const char *v = val("--workload")) {
+            opt.workload = v;
+        } else if (const char *v = val("--style")) {
+            if (std::string(v) == "redo")
+                opt.style = LoggingStyle::Redo;
+            else if (std::string(v) == "undo")
+                opt.style = LoggingStyle::Undo;
+            else {
+                usage();
+                std::exit(2);
+            }
+        } else if (const char *v = val("--cores")) {
+            opt.coreCounts.clear();
+            for (const auto &part : splitList(v))
+                opt.coreCounts.push_back(
+                    std::strtoull(part.c_str(), nullptr, 10));
+        } else if (const char *v = val("--ops-per-core")) {
+            opt.opsPerCore = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--value-bytes")) {
+            opt.valueBytes = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--seed")) {
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--shared-pct")) {
+            opt.sharedPct =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = val("--max-points")) {
+            opt.maxPoints = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--tiny-cache") {
+            opt.tinyCache = true;
+        } else if (arg == "--full") {
+            opt.full = true;
+        } else if (const char *v = val("--workers")) {
+            opt.workers = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--crash-point")) {
+            opt.crashPoint = std::strtoll(v, nullptr, 10);
+        } else {
+            usage();
+            std::exit(arg == "--help" ? 0 : 2);
+        }
+    }
+    return opt;
+}
+
+McCrashSweepConfig
+configFor(const CliOptions &opt, const std::string &scheme,
+          std::size_t cores)
+{
+    McCrashSweepConfig cfg;
+    cfg.scheme = parseScheme(scheme);
+    cfg.style = opt.style;
+    cfg.run.workload = opt.workload;
+    cfg.run.numCores = cores;
+    cfg.run.opsPerCore = opt.opsPerCore;
+    cfg.run.valueBytes = opt.valueBytes;
+    cfg.run.seed = opt.seed;
+    cfg.run.sharedPct = opt.sharedPct;
+    cfg.maxPoints = opt.full ? 0 : opt.maxPoints;
+    cfg.tinyCache = opt.tinyCache;
+    cfg.workers =
+        opt.workers
+            ? opt.workers
+            : std::max(1u, std::thread::hardware_concurrency());
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parseArgs(argc, argv);
+
+    const auto &known = allWorkloads();
+    if (std::find(known.begin(), known.end(), opt.workload) ==
+        known.end()) {
+        std::fprintf(stderr, "unknown workload: %s\n",
+                     opt.workload.c_str());
+        return 2;
+    }
+
+    if (opt.crashPoint >= 0) {
+        if (opt.schemes.size() != 1 || opt.coreCounts.size() != 1) {
+            std::fprintf(stderr, "--crash-point needs exactly one "
+                                 "scheme and one core count\n");
+            return 2;
+        }
+        const McCrashSweepConfig cfg =
+            configFor(opt, opt.schemes[0], opt.coreCounts[0]);
+        const McCrashPointOutcome out = runMcCrashPoint(
+            cfg, static_cast<std::uint64_t>(opt.crashPoint));
+        std::printf("crash_point=%llu fired=%d committed_ops=%zu "
+                    "replayed_records=%zu violations=%zu\n",
+                    static_cast<unsigned long long>(out.crashPoint),
+                    out.fired ? 1 : 0, out.committedOps,
+                    out.replayedRecords, out.violations.size());
+        for (const auto &v : out.violations)
+            std::printf("VIOLATION %s\n", v.c_str());
+        return out.violations.empty() ? 0 : 1;
+    }
+
+    int failures = 0;
+    for (const auto &scheme : opt.schemes) {
+        for (std::size_t cores : opt.coreCounts) {
+            const McCrashSweepConfig cfg =
+                configFor(opt, scheme, cores);
+            const McCrashSweepReport report = runMcCrashSweep(cfg);
+            std::printf("%s", report.summaryText().c_str());
+            if (report.violationCount() > 0)
+                ++failures;
+        }
+    }
+    return failures;
+}

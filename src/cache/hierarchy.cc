@@ -8,12 +8,30 @@ namespace slpmt
 CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
                                const AddressMap &map, PmDevice &pm,
                                DramDevice &dram, StatsRegistry &stats)
+    : CacheHierarchy(cfg, map, pm, dram, stats,
+                     static_cast<Cache *>(nullptr))
+{
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
+                               const AddressMap &map, PmDevice &pm,
+                               DramDevice &dram, StatsRegistry &stats,
+                               Cache &shared_l3)
+    : CacheHierarchy(cfg, map, pm, dram, stats, &shared_l3)
+{
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
+                               const AddressMap &map, PmDevice &pm,
+                               DramDevice &dram, StatsRegistry &stats,
+                               Cache *shared_l3)
     : addrMap(map),
       pm(pm),
       dram(dram),
       l1Cache(cfg.l1),
       l2Cache(cfg.l2),
-      l3Cache(cfg.l3),
+      ownedL3(shared_l3 ? nullptr : std::make_unique<Cache>(cfg.l3)),
+      l3Ptr(shared_l3 ? shared_l3 : ownedL3.get()),
       statL1Hits(stats.counter("cache.l1Hits")),
       statL1Misses(stats.counter("cache.l1Misses")),
       statL2Hits(stats.counter("cache.l2Hits")),
@@ -64,13 +82,13 @@ CacheHierarchy::ensureInL2(Addr addr, Cycles now)
         return latency;
     }
     statL2Misses++;
-    latency += l3Cache.hitLatency();
+    latency += l3Ptr->hitLatency();
 
-    CacheLine *l3_line = l3Cache.find(addr);
+    CacheLine *l3_line = l3Ptr->find(addr);
     if (!l3_line) {
         statL3Misses++;
         // Fill L3 from the backing device.
-        CacheLine &frame = l3Cache.victimFor(addr);
+        CacheLine &frame = l3Ptr->victimFor(addr);
         if (frame.valid()) {
             CacheLine victim = frame;  // copy: eviction may recurse
             frame.invalidate();
@@ -84,11 +102,11 @@ CacheHierarchy::ensureInL2(Addr addr, Cycles now)
             latency += pm.readLine(addr, frame.data.data());
         else
             latency += dram.readLine(addr, frame.data.data());
-        l3Cache.touch(frame);
+        l3Ptr->touch(frame);
         l3_line = &frame;
     } else {
         statL3Hits++;
-        l3Cache.touch(*l3_line);
+        l3Ptr->touch(*l3_line);
     }
 
     // Fill L2 from L3. Metadata starts clear (Section III-B1).
@@ -196,9 +214,9 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
 
     // Install into L3 (the copy may already exist — it usually does,
     // because fills pass through L3).
-    CacheLine *l3_line = l3Cache.find(victim.tag);
+    CacheLine *l3_line = l3Ptr->find(victim.tag);
     if (!l3_line) {
-        CacheLine &frame = l3Cache.victimFor(victim.tag);
+        CacheLine &frame = l3Ptr->victimFor(victim.tag);
         if (frame.valid()) {
             CacheLine old = frame;
             frame.invalidate();
@@ -208,7 +226,7 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
         frame.state = MesiState::Exclusive;
         frame.dirty = false;
         frame.clearTxnMeta();
-        l3Cache.touch(frame);
+        l3Ptr->touch(frame);
         l3_line = &frame;
     }
     l3_line->data = victim.data;
@@ -221,13 +239,12 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
 }
 
 Cycles
-CacheHierarchy::evictFromL3(CacheLine &victim, Cycles now)
+CacheHierarchy::foldPrivateInto(CacheLine &victim, Cycles now)
 {
-    Cycles latency = 0;
-
     // Inclusion: fold in private copies. The L2 eviction would try to
     // reinstall into L3; we work on a detached copy, so find() misses
     // and would allocate — avoid that by merging manually.
+    Cycles latency = 0;
     if (CacheLine *l2_copy = l2Cache.find(victim.tag)) {
         if (CacheLine *l1_copy = l1Cache.find(victim.tag))
             latency += evictFromL1(*l1_copy, now);
@@ -241,12 +258,33 @@ CacheHierarchy::evictFromL3(CacheLine &victim, Cycles now)
         l2_copy->invalidate();
         l2Cache.syncMetaIndex(*l2_copy);
     }
+    return latency;
+}
+
+Cycles
+CacheHierarchy::evictFromL3(CacheLine &victim, Cycles now)
+{
+    Cycles latency = foldPrivateInto(victim, now);
+    if (remoteFolder)
+        latency += remoteFolder->foldRemotePrivate(*this, victim, now);
 
     if (victim.dirty) {
         statWritebacks++;
         latency += writebackToDevice(victim, now);
     }
     return latency;
+}
+
+Cycles
+CacheHierarchy::surrenderPrivate(Addr addr, Cycles now)
+{
+    // evictFromL2 pulls any L1 copy down first, runs the eviction
+    // client on metadata-bearing lines, merges the data into the
+    // shared L3 and invalidates the private frames — exactly the
+    // coherence transfer semantics.
+    if (CacheLine *l2_line = l2Cache.find(addr))
+        return evictFromL2(*l2_line, now);
+    return 0;
 }
 
 Cycles
@@ -333,7 +371,7 @@ CacheHierarchy::persistPrivateLine(CacheLine &line, PersistKind kind,
             l2_copy->dirty = false;
         }
     }
-    if (CacheLine *l3_copy = l3Cache.find(line.tag)) {
+    if (CacheLine *l3_copy = l3Ptr->find(line.tag)) {
         l3_copy->data = line.data;
         l3_copy->dirty = false;
     }
@@ -351,7 +389,7 @@ CacheHierarchy::invalidateLineEverywhere(Addr addr)
         line->invalidate();
         l2Cache.syncMetaIndex(*line);
     }
-    if (CacheLine *line = l3Cache.find(addr))
+    if (CacheLine *line = l3Ptr->find(addr))
         line->invalidate();
 }
 
@@ -360,19 +398,32 @@ CacheHierarchy::crash()
 {
     l1Cache.invalidateAll();
     l2Cache.invalidateAll();
-    l3Cache.invalidateAll();
+    l3Ptr->invalidateAll();
 }
 
 Cycles
 CacheHierarchy::flushAll(Cycles now)
 {
-    Cycles latency = 0;
     // Evict top-down so data merges toward L3 before writeback.
+    return flushPrivate(now) + flushShared(now);
+}
+
+Cycles
+CacheHierarchy::flushPrivate(Cycles now)
+{
+    Cycles latency = 0;
     l1Cache.forEachValid(
         [&](CacheLine &line) { latency += evictFromL1(line, now); });
     l2Cache.forEachValid(
         [&](CacheLine &line) { latency += evictFromL2(line, now); });
-    l3Cache.forEachValid([&](CacheLine &line) {
+    return latency;
+}
+
+Cycles
+CacheHierarchy::flushShared(Cycles now)
+{
+    Cycles latency = 0;
+    l3Ptr->forEachValid([&](CacheLine &line) {
         CacheLine victim = line;
         line.invalidate();
         latency += evictFromL3(victim, now);

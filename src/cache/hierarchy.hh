@@ -22,6 +22,8 @@
 #ifndef SLPMT_CACHE_HIERARCHY_HH
 #define SLPMT_CACHE_HIERARCHY_HH
 
+#include <memory>
+
 #include "cache/cache.hh"
 #include "stats/stats.hh"
 #include "mem/address_map.hh"
@@ -72,6 +74,29 @@ class EvictionClient
                    Cycles now) = 0;
 };
 
+class CacheHierarchy;
+
+/**
+ * Multicore hook: when a shared-L3 victim is evicted, private copies
+ * may live in *other* cores' L1/L2. The multicore machine implements
+ * this to fold those copies into the departing victim (running each
+ * owner's EvictionClient for metadata-bearing lines) before the
+ * writeback. Single-core hierarchies leave it unset.
+ */
+class RemoteLineFolder
+{
+  public:
+    virtual ~RemoteLineFolder() = default;
+
+    /**
+     * Fold every other core's private copy of @p victim into it.
+     * @param evictor the hierarchy performing the L3 eviction
+     * @return extra cycles charged to the evicting core
+     */
+    virtual Cycles foldRemotePrivate(CacheHierarchy &evictor,
+                                     CacheLine &victim, Cycles now) = 0;
+};
+
 /** Result of one hierarchy access. */
 struct AccessResult
 {
@@ -86,7 +111,16 @@ class CacheHierarchy
     CacheHierarchy(const HierarchyConfig &cfg, const AddressMap &map,
                    PmDevice &pm, DramDevice &dram, StatsRegistry &stats);
 
+    /** Multicore topology: private L1/L2 over an externally owned,
+     *  shared L3 (the caller keeps @p shared_l3 alive). */
+    CacheHierarchy(const HierarchyConfig &cfg, const AddressMap &map,
+                   PmDevice &pm, DramDevice &dram, StatsRegistry &stats,
+                   Cache &shared_l3);
+
     void setEvictionClient(EvictionClient *client) { evictClient = client; }
+
+    /** Multicore hook for cross-core folds on shared-L3 evictions. */
+    void setRemoteFolder(RemoteLineFolder *f) { remoteFolder = f; }
 
     /** Enable the Section III-B1 speculative log-rounding option. */
     void setSpeculativeRounding(bool on) { speculativeRounding = on; }
@@ -209,9 +243,35 @@ class CacheHierarchy
      */
     Cycles flushAll(Cycles now);
 
+    /** Flush only the private levels (L1+L2) into the L3. The
+     *  multicore quiesce flushes every core's privates first, then
+     *  the shared L3 once. */
+    Cycles flushPrivate(Cycles now);
+
+    /** Flush (write back and drop) the L3 contents. */
+    Cycles flushShared(Cycles now);
+
+    /**
+     * Coherence transfer: give up this core's private copy of a line,
+     * merging data and transactional metadata down into the shared L3
+     * exactly as a capacity eviction would (the EvictionClient flushes
+     * log records / persists when the metadata demands it — the
+     * paper's L1<->L2 aggregation rules apply unchanged on the way
+     * down). No-op when the line is not privately cached.
+     */
+    Cycles surrenderPrivate(Addr addr, Cycles now);
+
+    /**
+     * Fold this hierarchy's private copy of @p victim (a detached
+     * shared-L3 victim) into it, running the EvictionClient for
+     * metadata-bearing lines. Public so the multicore machine can fold
+     * *other* cores' copies during a shared-L3 eviction.
+     */
+    Cycles foldPrivateInto(CacheLine &victim, Cycles now);
+
     Cache &l1() { return l1Cache; }
     Cache &l2() { return l2Cache; }
-    Cache &l3() { return l3Cache; }
+    Cache &l3() { return *l3Ptr; }
 
   private:
     /** Panic if the metadata line index diverges from a full scan. */
@@ -231,13 +291,24 @@ class CacheHierarchy
     /** Write a line's data into the backing device (dirty writeback). */
     Cycles writebackToDevice(const CacheLine &line, Cycles now);
 
+    /** Common body of the two public constructors. */
+    CacheHierarchy(const HierarchyConfig &cfg, const AddressMap &map,
+                   PmDevice &pm, DramDevice &dram, StatsRegistry &stats,
+                   Cache *shared_l3);
+
     const AddressMap &addrMap;
     PmDevice &pm;
     DramDevice &dram;
     Cache l1Cache;
     Cache l2Cache;
-    Cache l3Cache;
+
+    /** The L3: owned in the single-core topology, external (shared
+     *  across cores) in the multicore one. */
+    std::unique_ptr<Cache> ownedL3;
+    Cache *l3Ptr;
+
     EvictionClient *evictClient = nullptr;
+    RemoteLineFolder *remoteFolder = nullptr;
     bool speculativeRounding = false;
 
     /** Metadata line index controls (see forEachPrivate()). Auditing

@@ -6,7 +6,10 @@
  * hierarchy, the transaction engine for the configured scheme, the
  * persistent heap, and the store-site registry — and exposes the
  * typed load/store/storeT API, transaction control, crash injection,
- * and recovery entry points.
+ * and recovery entry points. PmSystem is the single-core machine; it
+ * implements the PmContext program surface directly. The multicore
+ * machine (src/multicore/) assembles the same components per core
+ * around shared devices instead.
  */
 
 #ifndef SLPMT_CORE_PM_SYSTEM_HH
@@ -20,6 +23,7 @@
 #include "stats/stats.hh"
 #include "core/annotation.hh"
 #include "core/heap.hh"
+#include "core/pm_context.hh"
 #include "mem/address_map.hh"
 #include "mem/dram_device.hh"
 #include "mem/persist_tracker.hh"
@@ -41,13 +45,18 @@ struct SystemConfig
 
     /** Metadata line index toggle (see ExperimentConfig::useMetaIndex). */
     bool useMetaIndex = true;
+
+    /**
+     * Number of logical cores. PmSystem models exactly one core and
+     * rejects anything else; McMachine (src/multicore/) accepts 1-16.
+     * With numCores == 1 the topology is byte-identical to what every
+     * existing figure and test was measured on.
+     */
+    std::size_t numCores = 1;
 };
 
-/** Number of 8-byte durable root slots in the root directory. */
-inline constexpr std::size_t numRootSlots = 64;
-
 /** The simulated machine. */
-class PmSystem
+class PmSystem : public PmContext
 {
   public:
     explicit PmSystem(const SystemConfig &cfg = SystemConfig{})
@@ -60,6 +69,9 @@ class PmSystem
           pmHeap(config.map.heapBase() + rootDirBytes,
                  config.map.heapSize() - rootDirBytes, statsReg)
     {
+        panicIfNot(config.numCores == 1,
+                   "PmSystem is the single-core machine; build an "
+                   "McMachine for numCores > 1");
         policy = &manualPolicy;
         hier.setMetaIndexEnabled(config.useMetaIndex);
     }
@@ -72,9 +84,9 @@ class PmSystem
     CacheHierarchy &hierarchy() { return hier; }
     StatsRegistry &stats() { return statsReg; }
     PersistTracker &tracker() { return persistTracker; }
-    PersistentHeap &heap() { return pmHeap; }
-    StoreSiteRegistry &sites() { return siteRegistry; }
-    const AddressMap &map() const { return config.map; }
+    PersistentHeap &heap() override { return pmHeap; }
+    StoreSiteRegistry &sites() override { return siteRegistry; }
+    const AddressMap &map() const override { return config.map; }
     const SystemConfig &cfg() const { return config; }
     /** @} */
 
@@ -89,94 +101,46 @@ class PmSystem
 
     /** @name Transaction control */
     /** @{ */
-    void txBegin() { txnEngine.txBegin(); }
-    void txCommit() { txnEngine.txCommit(); }
-    void txAbort() { txnEngine.txAbort(); }
-    bool inTransaction() const { return txnEngine.inTransaction(); }
+    void txBegin() override { txnEngine.txBegin(); }
+    void txCommit() override { txnEngine.txCommit(); }
+    void txAbort() override { txnEngine.txAbort(); }
+    bool inTransaction() const override
+    {
+        return txnEngine.inTransaction();
+    }
+    std::uint64_t currentTxnSeq() const override
+    {
+        return txnEngine.currentTxnSeq();
+    }
     /** @} */
 
-    /** @name Typed data path */
+    /** @name Byte data path */
     /** @{ */
-    template <typename T>
-    T
-    read(Addr addr)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        T value;
-        txnEngine.load(addr, &value, sizeof(T));
-        return value;
-    }
-
-    /** Ordinary logged, eagerly persistent store. */
-    template <typename T>
     void
-    write(Addr addr, const T &value)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        txnEngine.store(addr, &value, sizeof(T));
-    }
-
-    /** storeT with explicit operands. */
-    template <typename T>
-    void
-    writeT(Addr addr, const T &value, StoreFlags flags)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        txnEngine.storeT(addr, &value, sizeof(T), flags);
-    }
-
-    /** Store through a registered site: the active annotation policy
-     *  decides the storeT operands. */
-    template <typename T>
-    void
-    writeSite(Addr addr, const T &value, SiteId site)
-    {
-        writeT(addr, value, policy->flagsFor(siteRegistry.info(site)));
-    }
-
-    void
-    readBytes(Addr addr, void *out, std::size_t len)
+    readBytes(Addr addr, void *out, std::size_t len) override
     {
         txnEngine.load(addr, out, len);
     }
 
     void
-    writeBytes(Addr addr, const void *src, std::size_t len)
+    writeBytes(Addr addr, const void *src, std::size_t len) override
     {
         txnEngine.store(addr, src, len);
     }
 
     void
     writeBytesT(Addr addr, const void *src, std::size_t len,
-                StoreFlags flags)
+                StoreFlags flags) override
     {
         txnEngine.storeT(addr, src, len, flags);
     }
 
     void
     writeBytesSite(Addr addr, const void *src, std::size_t len,
-                   SiteId site)
+                   SiteId site) override
     {
         txnEngine.storeT(addr, src, len,
                          policy->flagsFor(siteRegistry.info(site)));
-    }
-    /** @} */
-
-    /** @name Durable roots */
-    /** @{ */
-    Addr
-    rootSlotAddr(std::size_t slot) const
-    {
-        panicIfNot(slot < numRootSlots, "root slot out of range");
-        return config.map.heapBase() + slot * wordSize;
-    }
-
-    Addr readRoot(std::size_t slot) { return read<Addr>(rootSlotAddr(slot)); }
-
-    /** Roots are pivotal: always logged and eagerly persistent. */
-    void writeRoot(std::size_t slot, Addr value)
-    {
-        write<Addr>(rootSlotAddr(slot), value);
     }
     /** @} */
 
@@ -195,17 +159,8 @@ class PmSystem
     std::size_t recoverHardware() { return txnEngine.recover(); }
 
     /** Untimed durable-image read (recovery code). */
-    template <typename T>
-    T
-    peek(Addr addr) const
-    {
-        T value;
-        pmDev.peek(addr, &value, sizeof(T));
-        return value;
-    }
-
     void
-    peekBytes(Addr addr, void *out, std::size_t len) const
+    peekBytes(Addr addr, void *out, std::size_t len) const override
     {
         pmDev.peek(addr, out, len);
     }
@@ -213,15 +168,15 @@ class PmSystem
 
     /** @name Utilities */
     /** @{ */
-    Cycles cycles() const { return txnEngine.now(); }
+    Cycles cycles() const override { return txnEngine.now(); }
 
     /** Charge pure compute time (workload instruction work). */
-    void compute(Cycles c) { txnEngine.advance(c); }
+    void compute(Cycles c) override { txnEngine.advance(c); }
 
     /** Write back every dirty line and persist lazy data: reach a
      *  fully durable quiescent state between experiment phases. */
     void
-    quiesce()
+    quiesce() override
     {
         txnEngine.persistAllLazy();
         txnEngine.advance(hier.flushAll(txnEngine.now()));

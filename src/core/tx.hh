@@ -12,7 +12,7 @@
 #ifndef SLPMT_CORE_TX_HH
 #define SLPMT_CORE_TX_HH
 
-#include "core/pm_system.hh"
+#include "core/pm_context.hh"
 
 namespace slpmt
 {
@@ -21,7 +21,7 @@ namespace slpmt
 class DurableTx
 {
   public:
-    explicit DurableTx(PmSystem &sys) : sys(sys) { sys.txBegin(); }
+    explicit DurableTx(PmContext &sys) : sys(sys) { sys.txBegin(); }
 
     DurableTx(const DurableTx &) = delete;
     DurableTx &operator=(const DurableTx &) = delete;
@@ -53,7 +53,7 @@ class DurableTx
     bool finished() const { return done; }
 
   private:
-    PmSystem &sys;
+    PmContext &sys;
     bool done = false;
 };
 

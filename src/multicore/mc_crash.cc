@@ -1,0 +1,351 @@
+#include "multicore/mc_crash.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "validate/work_queue.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+/** Committed state (scheduler-commit order, last writer wins). */
+using Shadow = std::map<std::uint64_t, std::vector<std::uint8_t>>;
+
+constexpr std::size_t maxViolationsPerPhase = 4;
+
+std::string
+styleName(LoggingStyle style)
+{
+    return style == LoggingStyle::Undo ? "undo" : "redo";
+}
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+std::string
+reproTuple(const McCrashSweepConfig &cfg, std::uint64_t crash_point)
+{
+    return "(scheme=" + schemeName(cfg.scheme) +
+           " style=" + styleName(cfg.style) +
+           " workload=" + cfg.run.workload +
+           " cores=" + std::to_string(cfg.run.numCores) +
+           " seed=" + std::to_string(cfg.run.seed) +
+           std::string(cfg.tinyCache ? " tiny_cache=1" : "") +
+           " crash_point=" + std::to_string(crash_point) + ")";
+}
+
+/** The run configuration with scheme/style stamped in. */
+McYcsbConfig
+runConfigFor(const McCrashSweepConfig &cfg)
+{
+    McYcsbConfig rc = cfg.run;
+    rc.sys.scheme = SchemeConfig::forKind(cfg.scheme);
+    rc.sys.style = cfg.style;
+    if (cfg.tinyCache) {
+        rc.sys.hierarchy.l1 = CacheConfig{"L1", 1024, 2, 4};
+        rc.sys.hierarchy.l2 = CacheConfig{"L2", 2048, 2, 12};
+        rc.sys.hierarchy.l3 = CacheConfig{"L3", 4096, 4, 40};
+    }
+    return rc;
+}
+
+/** Oracle comparison of the recovered structure with the shadow. */
+void
+checkState(PmContext &ctx, Workload &wl, const Shadow &shadow,
+           const std::vector<std::uint64_t> &absent_keys,
+           const std::string &tuple, const std::string &phase,
+           std::vector<std::string> &out)
+{
+    std::size_t added = 0;
+    auto add = [&](const std::string &msg) {
+        if (added < maxViolationsPerPhase)
+            out.push_back(tuple + " " + phase + ": " + msg);
+        else if (added == maxViolationsPerPhase)
+            out.push_back(tuple + " " + phase +
+                          ": further violations suppressed");
+        ++added;
+    };
+
+    std::string why;
+    if (!wl.checkConsistency(ctx, &why))
+        add("structure invariant violated: " + why);
+
+    const std::size_t n = wl.count(ctx);
+    if (n != shadow.size())
+        add("count mismatch: structure holds " + std::to_string(n) +
+            ", oracle expects " + std::to_string(shadow.size()));
+
+    std::vector<std::uint8_t> got;
+    for (const auto &[key, value] : shadow) {
+        got.clear();
+        if (!wl.lookup(ctx, key, &got))
+            add("committed key " + hexKey(key) + " missing");
+        else if (got != value)
+            add("value mismatch for committed key " + hexKey(key));
+    }
+
+    for (std::uint64_t key : absent_keys) {
+        if (wl.lookup(ctx, key, nullptr))
+            add("uncommitted key " + hexKey(key) + " visible");
+    }
+}
+
+/** Run one crash point against pre-generated streams. */
+McCrashPointOutcome
+runPointOnStreams(const McCrashSweepConfig &cfg,
+                  const std::vector<std::vector<McOpRecord>> &streams,
+                  std::uint64_t crash_point)
+{
+    McCrashPointOutcome out;
+    out.crashPoint = crash_point;
+    const std::string tuple = reproTuple(cfg, crash_point);
+    const McYcsbConfig rc = runConfigFor(cfg);
+
+    try {
+        SystemConfig sys_cfg = rc.sys;
+        sys_cfg.numCores = rc.numCores;
+        McMachine machine(sys_cfg);
+        if (rc.policy)
+            machine.setAnnotationPolicy(rc.policy);
+
+        auto wl = makeWorkload(rc.workload);
+        wl->setup(machine.context(0));
+
+        std::vector<McOpRecord> commit_log;
+        std::vector<std::unique_ptr<McYcsbDriver>> drivers;
+        std::vector<McCoreDriver *> ptrs;
+        for (std::size_t i = 0; i < rc.numCores; ++i) {
+            drivers.push_back(std::make_unique<McYcsbDriver>(
+                machine.context(i), *wl, streams[i], commit_log));
+            ptrs.push_back(drivers.back().get());
+        }
+
+        if (crash_point > 0)
+            machine.armCrashAfterStores(crash_point);
+        const McScheduleResult run =
+            runInterleaved(machine, ptrs, rc.sched);
+        machine.armCrashAfterStores(0);
+        out.fired = run.crashed;
+        out.committedOps = commit_log.size();
+
+        // Power off after the run when the armed point never fired
+        // (or for the explicit post-completion sentinel).
+        if (!run.crashed)
+            machine.crash();
+
+        Shadow shadow;
+        for (const auto &op : commit_log)
+            shadow[op.key] = op.value;
+
+        std::vector<std::uint64_t> absent;
+        {
+            std::set<std::uint64_t> keys;
+            for (const auto &stream : streams)
+                for (const auto &op : stream)
+                    keys.insert(op.key);
+            for (std::uint64_t key : keys) {
+                if (!shadow.count(key))
+                    absent.push_back(key);
+            }
+        }
+
+        // Hardware replay of every core's log slice, then the
+        // workload's user-level recovery (runs on core 0 — recovery
+        // is single-threaded kernel/runtime work).
+        out.replayedRecords = machine.recover();
+        wl->recover(machine.context(0));
+        checkState(machine.context(0), *wl, shadow, absent, tuple,
+                   "post-recovery", out.violations);
+
+        if (cfg.checkIdempotence) {
+            const std::size_t again = machine.recover();
+            if (again != 0)
+                out.violations.push_back(
+                    tuple + " idempotence: second hardware recovery "
+                            "replayed " +
+                    std::to_string(again) + " records");
+            wl->recover(machine.context(0));
+            checkState(machine.context(0), *wl, shadow, absent, tuple,
+                       "idempotence", out.violations);
+        }
+
+        // The structure must keep working: fresh even-keyed inserts
+        // (stream keys are odd) spread across the cores.
+        if (cfg.continuationOps > 0) {
+            Rng rng(mix64(rc.seed) ^ (crash_point + 1));
+            for (std::size_t i = 0; i < cfg.continuationOps; ++i) {
+                std::uint64_t key;
+                do {
+                    key = ((rng.next() >> 1) | 2ULL) &
+                          ~static_cast<std::uint64_t>(1);
+                } while (shadow.count(key));
+                const auto value = ycsbValueFor(key, rc.valueBytes);
+                wl->insert(machine.context(i % rc.numCores), key,
+                           value);
+                shadow[key] = value;
+            }
+            checkState(machine.context(0), *wl, shadow, absent, tuple,
+                       "continuation", out.violations);
+        }
+
+        out.stats = machine.snapshot();
+    } catch (const std::exception &e) {
+        out.violations.push_back(tuple + " exception: " + e.what());
+    }
+    return out;
+}
+
+/** Stratified point enumeration (mirrors the single-core sweep). */
+std::vector<std::uint64_t>
+enumeratePoints(const McCrashSweepConfig &cfg,
+                std::uint64_t total_stores)
+{
+    std::vector<std::uint64_t> points;
+    const std::uint64_t total = total_stores;
+    if (total > 0) {
+        if (cfg.maxPoints == 0 || total <= cfg.maxPoints) {
+            for (std::uint64_t k = 1; k <= total; ++k)
+                points.push_back(k);
+        } else {
+            Rng rng(mix64(cfg.run.seed ^ 0xc5a5c5a5c5a5c5a5ULL));
+            const std::uint64_t strata = cfg.maxPoints;
+            for (std::uint64_t s = 0; s < strata; ++s) {
+                const std::uint64_t lo = 1 + s * total / strata;
+                const std::uint64_t hi = 1 + (s + 1) * total / strata;
+                points.push_back(hi > lo ? lo + rng.below(hi - lo)
+                                         : lo);
+            }
+            points.front() = 1;
+            points.back() = total;
+            std::sort(points.begin(), points.end());
+            points.erase(std::unique(points.begin(), points.end()),
+                         points.end());
+        }
+    }
+    if (cfg.crashAfterCompletion)
+        points.push_back(0);
+    return points;
+}
+
+} // namespace
+
+std::uint64_t
+countMcTraceStores(const McCrashSweepConfig &cfg)
+{
+    const McYcsbConfig rc = runConfigFor(cfg);
+    SystemConfig sys_cfg = rc.sys;
+    sys_cfg.numCores = rc.numCores;
+    McMachine machine(sys_cfg);
+    if (rc.policy)
+        machine.setAnnotationPolicy(rc.policy);
+
+    auto wl = makeWorkload(rc.workload);
+    wl->setup(machine.context(0));
+
+    const auto streams = mcYcsbStreams(rc);
+    std::vector<McOpRecord> commit_log;
+    std::vector<std::unique_ptr<McYcsbDriver>> drivers;
+    std::vector<McCoreDriver *> ptrs;
+    for (std::size_t i = 0; i < rc.numCores; ++i) {
+        drivers.push_back(std::make_unique<McYcsbDriver>(
+            machine.context(i), *wl, streams[i], commit_log));
+        ptrs.push_back(drivers.back().get());
+    }
+    const std::uint64_t base = machine.storesExecuted();
+    runInterleaved(machine, ptrs, rc.sched);
+    return machine.storesExecuted() - base;
+}
+
+McCrashPointOutcome
+runMcCrashPoint(const McCrashSweepConfig &cfg,
+                std::uint64_t crash_point)
+{
+    return runPointOnStreams(cfg, mcYcsbStreams(runConfigFor(cfg)),
+                             crash_point);
+}
+
+McCrashSweepReport
+runMcCrashSweep(const McCrashSweepConfig &cfg)
+{
+    McCrashSweepReport report;
+    report.config = cfg;
+    report.traceStores = countMcTraceStores(cfg);
+
+    const auto streams = mcYcsbStreams(runConfigFor(cfg));
+    const auto points = enumeratePoints(cfg, report.traceStores);
+    report.points.resize(points.size());
+
+    runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
+                    points.size(), [&](std::size_t i) {
+                        report.points[i] = runPointOnStreams(
+                            cfg, streams, points[i]);
+                    });
+    return report;
+}
+
+std::size_t
+McCrashSweepReport::violationCount() const
+{
+    std::size_t n = 0;
+    for (const auto &p : points)
+        n += p.violations.size();
+    return n;
+}
+
+std::uint64_t
+McCrashSweepReport::replayedRecordsTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : points)
+        n += p.replayedRecords;
+    return n;
+}
+
+std::string
+McCrashSweepReport::violationsText() const
+{
+    std::string text;
+    for (const auto &p : points) {
+        for (const auto &v : p.violations) {
+            text += v;
+            text += '\n';
+        }
+    }
+    return text;
+}
+
+std::string
+McCrashSweepReport::summaryText() const
+{
+    std::size_t fired = 0;
+    for (const auto &p : points)
+        fired += p.fired ? 1 : 0;
+    std::string text;
+    text += "mc-crash-sweep scheme=" + schemeName(config.scheme) +
+            " style=" + styleName(config.style) +
+            " workload=" + config.run.workload +
+            " cores=" + std::to_string(config.run.numCores) +
+            " seed=" + std::to_string(config.run.seed) + "\n";
+    text += "  trace_stores=" + std::to_string(traceStores) +
+            " points=" + std::to_string(pointsExplored()) +
+            " fired=" + std::to_string(fired) +
+            " replayed_records=" +
+            std::to_string(replayedRecordsTotal()) +
+            " violations=" + std::to_string(violationCount()) + "\n";
+    text += violationsText();
+    return text;
+}
+
+} // namespace slpmt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Multicore crash-point sweep (recovery fuzzing of the interleaved
+ * machine).
+ *
+ * Extends the single-core crash explorer's methodology to the
+ * multicore machine: a dry run counts the store/storeT instructions a
+ * seeded interleaved YCSB run executes across all cores, the sweep
+ * enumerates crash points over that range (stratified when budgeted,
+ * plus the post-completion point with lazy data still volatile), and
+ * each point re-runs the identical interleaving on a fresh machine,
+ * fires the machine-wide power failure at exactly that store, recovers
+ * every core's log slice plus the workload's user-level recovery, and
+ * checks the survivors against the scheduler-commit-order shadow map:
+ * committed upserts readable with their committed values, interrupted
+ * ops invisible, invariants intact, recovery idempotent, and the
+ * structure still writable afterwards.
+ *
+ * Points are independent machines, so the sweep reuses the
+ * work-stealing pool; violation reports are bit-identical for any
+ * worker count.
+ */
+
+#ifndef SLPMT_MULTICORE_MC_CRASH_HH
+#define SLPMT_MULTICORE_MC_CRASH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multicore/mc_ycsb.hh"
+
+namespace slpmt
+{
+
+/** Everything configurable about one multicore sweep. */
+struct McCrashSweepConfig
+{
+    SchemeKind scheme = SchemeKind::SLPMT;
+    LoggingStyle style = LoggingStyle::Undo;
+
+    /** The interleaved run to crash (its sys scheme/style fields are
+     *  overwritten from the two knobs above). */
+    McYcsbConfig run;
+
+    /** Crash-point budget; 0 explores every store. */
+    std::size_t maxPoints = 0;
+
+    /** Shrink every cache level so mid-transaction evictions push
+     *  data (and with it, persisted log records) to PM before the
+     *  crash — the points where recovery actually replays. */
+    bool tinyCache = false;
+
+    /** Also crash once after the full run (lazy data still cached). */
+    bool crashAfterCompletion = true;
+
+    bool checkIdempotence = true;
+    std::size_t continuationOps = 2;
+
+    /** Worker threads for the sweep (real threads — each point owns
+     *  its machine; the simulated cores stay deterministic). */
+    std::size_t workers = 1;
+};
+
+/** Outcome of one explored multicore crash point. */
+struct McCrashPointOutcome
+{
+    std::uint64_t crashPoint = 0;  //!< 0 = post-completion point
+    bool fired = false;
+    std::size_t committedOps = 0;  //!< ops committed before the crash
+    std::size_t replayedRecords = 0;
+    std::vector<std::string> violations;
+    StatsSnapshot stats;
+};
+
+/** Aggregated result of a multicore sweep. */
+struct McCrashSweepReport
+{
+    McCrashSweepConfig config;
+    std::uint64_t traceStores = 0;
+    std::vector<McCrashPointOutcome> points;
+
+    std::size_t pointsExplored() const { return points.size(); }
+    std::size_t violationCount() const;
+    std::uint64_t replayedRecordsTotal() const;
+
+    /** Deterministic violation listing (one repro line each). */
+    std::string violationsText() const;
+
+    /** Deterministic human-readable summary for the sweep binary. */
+    std::string summaryText() const;
+};
+
+/** Run one sweep: dry-run, enumerate, explore (possibly parallel). */
+McCrashSweepReport runMcCrashSweep(const McCrashSweepConfig &cfg);
+
+/** Re-run a single point in isolation (the repro handle). */
+McCrashPointOutcome runMcCrashPoint(const McCrashSweepConfig &cfg,
+                                    std::uint64_t crash_point);
+
+/** Dry-run the interleaving and count its stores. */
+std::uint64_t countMcTraceStores(const McCrashSweepConfig &cfg);
+
+} // namespace slpmt
+
+#endif // SLPMT_MULTICORE_MC_CRASH_HH

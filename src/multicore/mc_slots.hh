@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Slot-store differential driver: byte-image equivalence fuzzing.
+ *
+ * The KV workloads allocate from the shared heap, so their layout
+ * depends on the interleaving and a multicore run can only be compared
+ * to a serial oracle *logically*. This driver removes that freedom: a
+ * fixed array of cache-line-sized PM slots is allocated once, and each
+ * core runs a stream of transaction *groups* — a few eager logged
+ * word-stores to pseudo-randomly chosen slots wrapped in one durable
+ * transaction. Group values are a pure function of (core, group,
+ * write), so a retried group rewrites exactly the same bytes.
+ *
+ * Because a group usually spans several scheduler quanta, suspended
+ * cores genuinely hold in-flight transactions while others run — the
+ * configuration that provokes real conflict aborts. The commit log
+ * (groups in scheduler-commit order) is the oracle: replaying it
+ * serially on a single-core machine must yield a byte-identical slot
+ * region, with or without a crash, for every scheme x logging style x
+ * core count.
+ */
+
+#ifndef SLPMT_MULTICORE_MC_SLOTS_HH
+#define SLPMT_MULTICORE_MC_SLOTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "multicore/machine.hh"
+#include "multicore/scheduler.hh"
+
+namespace slpmt
+{
+
+/** One word-store of a transaction group. */
+struct McSlotWrite
+{
+    std::size_t slot = 0;
+    std::uint64_t value = 0;
+};
+
+/** One durable transaction: a few stores committed atomically. */
+struct McSlotGroup
+{
+    std::size_t core = 0;
+    std::vector<McSlotWrite> writes;
+};
+
+/** Slot-differential run parameters. */
+struct McSlotsConfig
+{
+    std::size_t numCores = 2;
+    std::size_t numSlots = 24;       //!< one cache line each
+    std::size_t groupsPerCore = 16;
+    /** Stores per group; groups straddle quantum boundaries whenever
+     *  this does not divide the scheduler quantum. */
+    std::size_t writesPerGroup = 3;
+    std::uint64_t seed = 7;
+
+    McSchedConfig sched;
+    SystemConfig sys;
+};
+
+/** Deterministic per-core group streams. */
+std::vector<std::vector<McSlotGroup>>
+mcSlotStreams(const McSlotsConfig &cfg);
+
+/** Outcome of one interleaved slot run. */
+struct McSlotsResult
+{
+    bool crashed = false;
+    std::size_t quanta = 0;
+    std::uint64_t storesExecuted = 0;  //!< trace stores (for sweeps)
+
+    /** Committed groups in scheduler-commit order. */
+    std::vector<McSlotGroup> commitLog;
+
+    /** The durable slot-region bytes: after quiesce on a clean run,
+     *  after hardware recovery on a crashed one. */
+    std::vector<std::uint8_t> image;
+
+    /** Full machine counters at the end of the run. */
+    StatsSnapshot stats;
+};
+
+/**
+ * Run the interleaved slot streams; @p crash_after_stores > 0 arms the
+ * machine-wide power failure at that store ordinal (crashed runs are
+ * hardware-recovered before the image is taken).
+ */
+McSlotsResult runMcSlots(const McSlotsConfig &cfg,
+                         std::uint64_t crash_after_stores = 0);
+
+/**
+ * The oracle: replay @p commit_log serially on a fresh single-core
+ * machine (same heap layout) and return its durable slot image.
+ */
+std::vector<std::uint8_t>
+serialSlotsImage(const McSlotsConfig &cfg,
+                 const std::vector<McSlotGroup> &commit_log);
+
+} // namespace slpmt
+
+#endif // SLPMT_MULTICORE_MC_SLOTS_HH

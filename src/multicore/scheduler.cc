@@ -1,0 +1,71 @@
+#include "multicore/scheduler.hh"
+
+#include "common/rng.hh"
+
+namespace slpmt
+{
+
+McScheduleResult
+runInterleaved(McMachine &machine,
+               const std::vector<McCoreDriver *> &drivers,
+               const McSchedConfig &cfg)
+{
+    panicIfNot(drivers.size() == machine.numCores(),
+               "one driver per core required");
+    panicIfNot(cfg.quantumOps > 0, "quantum must be at least one op");
+
+    machine.setConflictHandler([&](std::size_t core) {
+        drivers[core]->onConflictAbort();
+    });
+
+    Rng rng(mix64(cfg.seed ^ 0x9c0'9c09'c09c'09c0ULL));
+    McScheduleResult result;
+    std::size_t rr = 0;
+    std::vector<std::size_t> runnable;
+
+    auto pick = [&]() -> std::size_t {
+        // Livelock bound: a core whose transactions keep aborting is
+        // scheduled exclusively until it commits (lowest index wins
+        // for determinism).
+        if (cfg.stubbornAfterAborts > 0) {
+            for (std::size_t i = 0; i < drivers.size(); ++i)
+                if (!drivers[i]->done() &&
+                    drivers[i]->abortStreak() >= cfg.stubbornAfterAborts)
+                    return i;
+        }
+        runnable.clear();
+        for (std::size_t i = 0; i < drivers.size(); ++i)
+            if (!drivers[i]->done())
+                runnable.push_back(i);
+        if (runnable.empty())
+            return drivers.size();
+        if (cfg.weighted)
+            return runnable[rng.below(runnable.size())];
+        while (drivers[rr % drivers.size()]->done())
+            ++rr;
+        const std::size_t core = rr % drivers.size();
+        ++rr;
+        return core;
+    };
+
+    try {
+        for (std::size_t core = pick(); core < drivers.size();
+             core = pick()) {
+            for (std::size_t op = 0;
+                 op < cfg.quantumOps && !drivers[core]->done(); ++op)
+                drivers[core]->step();
+            ++result.quanta;
+            machine.noteQuantumExpiry(core, cfg.drainOnQuantumExpiry);
+        }
+    } catch (const CrashInjected &) {
+        // The firing engine crashed itself; take the whole machine
+        // down (power failure is machine-wide).
+        result.crashed = true;
+        machine.crash();
+    }
+
+    machine.setConflictHandler(nullptr);
+    return result;
+}
+
+} // namespace slpmt

@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include "multicore/mc_ycsb.hh"
+
 namespace slpmt
 {
 
@@ -7,6 +9,12 @@ ExperimentResult
 runExperiment(const std::string &workload_name,
               const ExperimentConfig &cfg)
 {
+    // Multicore cells run through the interleaved machine; mcDriver
+    // forces that path even for one core so scaling baselines share
+    // the scheduler and workload layer of the scaled cells.
+    if (cfg.numCores > 1 || cfg.mcDriver)
+        return runMcExperiment(workload_name, cfg);
+
     SystemConfig sys_cfg;
     sys_cfg.scheme = SchemeConfig::forKind(cfg.scheme);
     sys_cfg.scheme.speculativeRounding = cfg.speculativeRounding;

@@ -49,6 +49,24 @@ struct ExperimentConfig
      *  produce identical results; the toggle exists so the profiling
      *  harness can measure the index's host-side speedup. */
     bool useMetaIndex = true;
+
+    /** @name Multicore cells (src/multicore/) */
+    /** @{ */
+    /** Cores of the simulated machine. > 1 runs the interleaved
+     *  multicore machine; 1 runs the classic single-core path. */
+    std::size_t numCores = 1;
+
+    /** Force the multicore driver even at numCores == 1 so scaling
+     *  sweeps measure their 1-core baseline with the same scheduler
+     *  and workload layer as the scaled cells. */
+    bool mcDriver = false;
+
+    /** Percent of ops targeting the cross-core shared key pool. */
+    unsigned mcSharedPct = 25;
+
+    /** Scheduler quantum (micro-ops per core per turn). */
+    std::size_t mcQuantumOps = 4;
+    /** @} */
 };
 
 /** Metrics of the measured insert phase plus verification outcome. */

@@ -531,6 +531,91 @@ samplePrint(const MatrixResult &res)
     table.print();
 }
 
+// -------------------------------------------------------------------
+// Multi-core scalability: YCSB makespan and coherence activity
+// -------------------------------------------------------------------
+
+const std::vector<SchemeKind> mcscaleSchemes = {SchemeKind::FG,
+                                                SchemeKind::SLPMT};
+const std::vector<std::size_t> mcscaleCores = {1, 2, 4, 8};
+
+std::vector<ExperimentCase>
+mcscaleCases()
+{
+    // Every cell (including 1 core) runs the multicore driver so the
+    // scaling baseline shares the scheduler, the shared-key mix and
+    // the per-core op split with the scaled cells.
+    std::vector<ExperimentCase> cases;
+    for (SchemeKind s : mcscaleSchemes) {
+        for (std::size_t cores : mcscaleCores) {
+            ExperimentCase c;
+            c.workload = "hashtable";
+            c.key = caseKey(c.workload, s,
+                            "c" + std::to_string(cores));
+            c.cfg.scheme = s;
+            c.cfg.numCores = cores;
+            c.cfg.mcDriver = true;
+            c.cfg.ycsb.numOps = 800;
+            c.cfg.ycsb.valueBytes = 64;
+            cases.push_back(c);
+        }
+    }
+    return cases;
+}
+
+void
+mcscalePrint(const MatrixResult &res)
+{
+    TableReport speed(
+        "Multi-core scalability: YCSB-upsert makespan, hashtable, "
+        "800 ops split across cores, 25% shared keys");
+    std::vector<std::string> cols = {"scheme"};
+    for (std::size_t cores : mcscaleCores)
+        cols.push_back(std::to_string(cores) + (cores == 1 ? " core"
+                                                           : " cores"));
+    cols.push_back("speedup @8");
+    speed.header(cols);
+    for (SchemeKind s : mcscaleSchemes) {
+        const auto &c1 = res.get(caseKey("hashtable", s, "c1"));
+        std::vector<std::string> row = {schemeName(s)};
+        for (std::size_t cores : mcscaleCores) {
+            const auto &cell = res.get(
+                caseKey("hashtable", s, "c" + std::to_string(cores)));
+            row.push_back(TableReport::integer(cell.cycles));
+        }
+        const auto &c8 = res.get(caseKey("hashtable", s, "c8"));
+        row.push_back(TableReport::ratio(c8.speedupOver(c1)));
+        speed.row(row);
+    }
+    speed.print();
+
+    TableReport coh("Multi-core coherence activity (SLPMT cells)");
+    coh.header({"cores", "probes", "remote hits", "invalidations",
+                "downgrades", "conflict aborts", "remote drains",
+                "ctx-switch drains"});
+    for (std::size_t cores : mcscaleCores) {
+        const auto &cell = res.get(caseKey(
+            "hashtable", SchemeKind::SLPMT,
+            "c" + std::to_string(cores)));
+        auto get = [&](const char *name) -> std::uint64_t {
+            auto it = cell.stats.find(name);
+            return it == cell.stats.end() ? 0 : it->second;
+        };
+        coh.row({std::to_string(cores),
+                 TableReport::integer(get("multicore.probes")),
+                 TableReport::integer(get("multicore.remoteHits")),
+                 TableReport::integer(get("multicore.invalidations")),
+                 TableReport::integer(get("multicore.downgrades")),
+                 TableReport::integer(get("multicore.conflictAborts")),
+                 TableReport::integer(
+                     get("multicore.remoteDrains.sigHit") +
+                     get("multicore.remoteDrains.idObserved")),
+                 TableReport::integer(
+                     get("multicore.ctxSwitchDrains"))});
+    }
+    coh.print();
+}
+
 } // namespace
 
 const std::vector<FigureSpec> &
@@ -553,6 +638,8 @@ figureRegistry()
          fig14Print},
         {"sample", "small pinned sweep for quick CI runs", sampleCases,
          samplePrint},
+        {"mcscale", "multi-core YCSB scalability (1/2/4/8 cores)",
+         mcscaleCases, mcscalePrint},
     };
     return registry;
 }

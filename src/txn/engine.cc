@@ -8,14 +8,16 @@ namespace slpmt
 
 TxnEngine::TxnEngine(const SchemeConfig &scheme, LoggingStyle style,
                      const AddressMap &map, CacheHierarchy &hier,
-                     PmDevice &pm, StatsRegistry &stats)
+                     PmDevice &pm, StatsRegistry &stats, Addr log_base,
+                     Bytes log_size)
     : schemeCfg(scheme),
       loggingStyle(style),
       addrMap(map),
       hier(hier),
       pm(pm),
       logBuf(stats),
-      undoLog(pm, map.logAreaBase(), map.logAreaSize(), stats),
+      undoLog(pm, log_size ? log_base : map.logAreaBase(),
+              log_size ? log_size : map.logAreaSize(), stats),
       ids(scheme.numTxnIds),
       idState(scheme.numTxnIds),
       statTxns(stats.counter("txn.begun")),
@@ -36,6 +38,10 @@ TxnEngine::TxnEngine(const SchemeConfig &scheme, LoggingStyle style,
       statLazyDrainIdWrap(stats.counter("txn.lazyDrain.idWrap")),
       statLazyDrainEviction(stats.counter("txn.lazyDrain.eviction")),
       statLazyDrainExplicit(stats.counter("txn.lazyDrain.explicit")),
+      statLazyDrainRemoteSigHit(
+          stats.counter("txn.lazyDrain.remoteSigHit")),
+      statLazyDrainRemoteIdObserved(
+          stats.counter("txn.lazyDrain.remoteIdObserved")),
       statLazyStoreBytes(stats.counter("txn.lazyStoreBytes")),
       statLogFreeStoreBytes(stats.counter("txn.logFreeStoreBytes")),
       statLogFreeWordsElided(stats.counter("txn.logFreeWordsElided")),
@@ -68,7 +74,7 @@ TxnEngine::txBegin()
     }
 
     curId = ids.allocate();
-    curSeq = ++globalSeq;
+    curSeq = ++*seqSrc;
     idState[curId].signature.clear();
     idState[curId].txnSeq = curSeq;
     idState[curId].lazyOutstanding = false;
@@ -344,7 +350,7 @@ void
 TxnEngine::storeT(Addr addr, const void *src, std::size_t len,
                   StoreFlags flags)
 {
-    if (crashCountdown > 0 && --crashCountdown == 0) {
+    if (*crashSrc > 0 && --*crashSrc == 0) {
         crash();
         throw CrashInjected();
     }
@@ -588,7 +594,9 @@ TxnEngine::checkSignaturesOnWrite(Addr addr, Cycles when)
                 statSigHits++;
                 c += costs.lazyScan;
                 c += persistLazyThrough(id, when + c,
-                                        statLazyDrainSigHit);
+                                        remoteObserving
+                                            ? statLazyDrainRemoteSigHit
+                                            : statLazyDrainSigHit);
                 again = true;  // the live list changed; rescan
                 break;
             }
@@ -609,7 +617,10 @@ TxnEngine::checkLineOwner(const CacheLine &line, Cycles when)
         !idState[owner].lazyOutstanding)
         return 0;  // stale tag: owner already fully persisted
     return costs.lazyScan +
-           persistLazyThrough(owner, when, statLazyDrainLineOwner);
+           persistLazyThrough(owner, when,
+                              remoteObserving
+                                  ? statLazyDrainRemoteIdObserved
+                                  : statLazyDrainLineOwner);
 }
 
 Cycles
@@ -708,6 +719,26 @@ TxnEngine::remoteRead(Addr addr)
         else
             clock += checkLineOwner(*line, clock);
     }
+    return conflict;
+}
+
+bool
+TxnEngine::remoteObserve(Addr addr, bool is_write)
+{
+    remoteObserving = true;
+    // A remote store probes the working-set signatures exactly like a
+    // local one (the directory broadcasts the address); loads only
+    // meet the per-line txn-ID tag.
+    if (is_write)
+        clock += checkSignaturesOnWrite(addr, clock);
+    bool conflict = false;
+    if (CacheLine *line = hier.findPrivate(addr)) {
+        if (inTxn && line->txnId == curId && line->txnSeq == curSeq)
+            conflict = true;  // the machine aborts this engine
+        else
+            clock += checkLineOwner(*line, clock);
+    }
+    remoteObserving = false;
     return conflict;
 }
 

@@ -87,9 +87,16 @@ struct EngineCosts
 class TxnEngine : public EvictionClient, public LogDrainSink
 {
   public:
+    /**
+     * @param log_base,log_size Persistent log-area slice this engine
+     *        appends to. 0/0 selects the map's whole log area (the
+     *        single-core default); the multicore machine carves the
+     *        area into per-core slices so concurrent engines never
+     *        interleave records.
+     */
     TxnEngine(const SchemeConfig &scheme, LoggingStyle style,
               const AddressMap &map, CacheHierarchy &hier, PmDevice &pm,
-              StatsRegistry &stats);
+              StatsRegistry &stats, Addr log_base = 0, Bytes log_size = 0);
 
     TxnEngine(const TxnEngine &) = delete;
     TxnEngine &operator=(const TxnEngine &) = delete;
@@ -138,6 +145,37 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     /** @return true if the event conflicts with the in-flight txn. */
     bool remoteWrite(Addr addr);
     bool remoteRead(Addr addr);
+
+    /**
+     * Directory probe from another core (multicore machine): run the
+     * paper's cross-transaction observation rules — the
+     * store-triggered signature check and the line-owner txn-ID check
+     * of Section III-C3 — against this core's state without moving
+     * any data (the caller handles invalidation/downgrade
+     * separately). Lazy drains forced this way are attributed to the
+     * txn.lazyDrain.remote* counters; the drain work is charged to
+     * this core's clock, since it is this core's WPQ traffic.
+     *
+     * @return true when the probed line belongs to this core's
+     *         in-flight transaction (a cross-core conflict the
+     *         machine must resolve by aborting this core)
+     */
+    bool remoteObserve(Addr addr, bool is_write);
+    /** @} */
+
+    /** @name Multicore sharing hooks (see src/multicore/machine.hh) */
+    /** @{ */
+    /** Share the transaction sequence counter across cores so
+     *  (txn ID, txn seq) pairs stay globally unique. */
+    void setSharedSeqCounter(std::uint64_t *counter) { seqSrc = counter; }
+
+    /** Share the crash-after-N-stores countdown across cores so the
+     *  machine can crash at a global store ordinal. */
+    void
+    setSharedCrashCountdown(std::uint64_t *countdown)
+    {
+        crashSrc = countdown;
+    }
     /** @} */
 
     /**
@@ -174,7 +212,7 @@ class TxnEngine : public EvictionClient, public LogDrainSink
      * CrashInjected, unwinding the workload mid-transaction.
      * Pass 0 to disarm.
      */
-    void armCrashAfterStores(std::uint64_t n) { crashCountdown = n; }
+    void armCrashAfterStores(std::uint64_t n) { *crashSrc = n; }
 
     /**
      * Total store/storeT instructions executed so far — the ordinal
@@ -281,6 +319,15 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     std::uint64_t curSeq = 0;
     std::uint64_t globalSeq = 0;
 
+    /** Sequence/countdown sources: own fields unless a multicore
+     *  machine shares one counter across its engines. */
+    std::uint64_t *seqSrc = &globalSeq;
+    std::uint64_t *crashSrc = &crashCountdown;
+
+    /** A remoteObserve() probe is running: attribute forced lazy
+     *  drains to the cross-core counters. */
+    bool remoteObserving = false;
+
     /**
      * Redo mode: lines written by the in-flight txn (volatile). A hash
      * set: the hot path only inserts and membership-tests. Every walk
@@ -326,13 +373,19 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     StatsRegistry::Counter statRecoverReplays;
 
     /** @name Why lazy lines were forced out (Section III-C3 taxonomy).
-     *  Counted per line, so the five sum to lazyForcedPersists. */
+     *  Counted per line, so the seven sum to lazyForcedPersists. */
     /** @{ */
     StatsRegistry::Counter statLazyDrainSigHit;    //!< working-set hit
     StatsRegistry::Counter statLazyDrainLineOwner; //!< foreign-ID access
     StatsRegistry::Counter statLazyDrainIdWrap;    //!< circular-ID reclaim
     StatsRegistry::Counter statLazyDrainEviction;  //!< private overflow
     StatsRegistry::Counter statLazyDrainExplicit;  //!< persistAllLazy()
+
+    /** Cross-core flavours of sigHit/lineOwner: another core's access
+     *  observed this core's signature or lazy txn ID (the paper's
+     *  drain condition (b) seen through the coherence directory). */
+    StatsRegistry::Counter statLazyDrainRemoteSigHit;
+    StatsRegistry::Counter statLazyDrainRemoteIdObserved;
     /** @} */
 
     /** Bytes stored with an effective lazy / log-free operand. */

@@ -7,7 +7,7 @@ namespace slpmt
 {
 
 void
-AvlTreeWorkload::setup(PmSystem &sys)
+AvlTreeWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteNodeInit = sites.add({.name = "avl.insert.node",
@@ -42,7 +42,7 @@ AvlTreeWorkload::setup(PmSystem &sys)
                            .defUseDepth = 3});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     sys.write<Addr>(headerAddr + HdrOff::root, 0);
     sys.write<std::uint64_t>(headerAddr + HdrOff::count, 0);
@@ -52,13 +52,13 @@ AvlTreeWorkload::setup(PmSystem &sys)
 }
 
 std::uint64_t
-AvlTreeWorkload::heightOf(PmSystem &sys, Addr node)
+AvlTreeWorkload::heightOf(PmContext &sys, Addr node)
 {
     return node ? sys.read<std::uint64_t>(node + NodeOff::height) : 0;
 }
 
 void
-AvlTreeWorkload::updateHeight(PmSystem &sys, Addr node)
+AvlTreeWorkload::updateHeight(PmContext &sys, Addr node)
 {
     const std::uint64_t h =
         1 + std::max(heightOf(sys, sys.read<Addr>(node + NodeOff::left)),
@@ -68,7 +68,7 @@ AvlTreeWorkload::updateHeight(PmSystem &sys, Addr node)
 }
 
 Addr
-AvlTreeWorkload::rotateLeft(PmSystem &sys, Addr x)
+AvlTreeWorkload::rotateLeft(PmContext &sys, Addr x)
 {
     const Addr y = sys.read<Addr>(x + NodeOff::right);
     const Addr yl = sys.read<Addr>(y + NodeOff::left);
@@ -80,7 +80,7 @@ AvlTreeWorkload::rotateLeft(PmSystem &sys, Addr x)
 }
 
 Addr
-AvlTreeWorkload::rotateRight(PmSystem &sys, Addr x)
+AvlTreeWorkload::rotateRight(PmContext &sys, Addr x)
 {
     const Addr y = sys.read<Addr>(x + NodeOff::left);
     const Addr yr = sys.read<Addr>(y + NodeOff::right);
@@ -92,7 +92,7 @@ AvlTreeWorkload::rotateRight(PmSystem &sys, Addr x)
 }
 
 Addr
-AvlTreeWorkload::rebalance(PmSystem &sys, Addr node)
+AvlTreeWorkload::rebalance(PmContext &sys, Addr node)
 {
     updateHeight(sys, node);
     const Addr left = sys.read<Addr>(node + NodeOff::left);
@@ -121,12 +121,12 @@ AvlTreeWorkload::rebalance(PmSystem &sys, Addr node)
 }
 
 Addr
-AvlTreeWorkload::insertRec(PmSystem &sys, Addr node, std::uint64_t key,
+AvlTreeWorkload::insertRec(PmContext &sys, Addr node, std::uint64_t key,
                            Addr val_ptr, std::uint64_t val_len)
 {
     if (!node) {
         const Addr fresh = sys.heap().alloc(
-            NodeOff::size, sys.engine().currentTxnSeq());
+            NodeOff::size, sys.currentTxnSeq());
         sys.writeSite<std::uint64_t>(fresh + NodeOff::key, key,
                                      siteNodeInit);
         sys.writeSite<Addr>(fresh + NodeOff::left, 0, siteNodeInit);
@@ -150,11 +150,11 @@ AvlTreeWorkload::insertRec(PmSystem &sys, Addr node, std::uint64_t key,
 }
 
 void
-AvlTreeWorkload::insert(PmSystem &sys, std::uint64_t key,
+AvlTreeWorkload::insert(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
 
     const Addr val_ptr = sys.heap().alloc(value.size(), seq);
@@ -175,7 +175,7 @@ AvlTreeWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-AvlTreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
+AvlTreeWorkload::lookup(PmContext &sys, std::uint64_t key,
                         std::vector<std::uint8_t> *out)
 {
     Addr cursor = sys.read<Addr>(headerAddr + HdrOff::root);
@@ -199,13 +199,13 @@ AvlTreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 std::size_t
-AvlTreeWorkload::count(PmSystem &sys)
+AvlTreeWorkload::count(PmContext &sys)
 {
     return sys.read<std::uint64_t>(headerAddr + HdrOff::count);
 }
 
 std::uint64_t
-AvlTreeWorkload::recomputeHeights(PmSystem &sys, Addr node,
+AvlTreeWorkload::recomputeHeights(PmContext &sys, Addr node,
                                   std::size_t *n,
                                   std::vector<Addr> *reachable)
 {
@@ -227,7 +227,7 @@ AvlTreeWorkload::recomputeHeights(PmSystem &sys, Addr node,
 }
 
 void
-AvlTreeWorkload::recover(PmSystem &sys)
+AvlTreeWorkload::recover(PmContext &sys)
 {
     headerAddr = sys.peek<Addr>(sys.rootSlotAddr(headerRootSlot));
     const Addr root = sys.peek<Addr>(headerAddr + HdrOff::root);
@@ -243,7 +243,7 @@ AvlTreeWorkload::recover(PmSystem &sys)
 }
 
 bool
-AvlTreeWorkload::checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
+AvlTreeWorkload::checkNode(PmContext &sys, Addr node, std::uint64_t lo,
                            std::uint64_t hi, std::uint64_t *height,
                            std::size_t *n, std::string *why)
 {
@@ -274,7 +274,7 @@ AvlTreeWorkload::checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
 }
 
 bool
-AvlTreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
+AvlTreeWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     std::uint64_t h = 0;
     std::size_t n = 0;
@@ -288,7 +288,7 @@ AvlTreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-AvlTreeWorkload::update(PmSystem &sys, std::uint64_t key,
+AvlTreeWorkload::update(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     Addr node = sys.read<Addr>(headerAddr + HdrOff::root);
@@ -304,7 +304,7 @@ AvlTreeWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);

@@ -29,16 +29,16 @@ class AvlTreeWorkload : public Workload
     static constexpr std::size_t headerRootSlot = 4;
 
     std::string name() const override { return "avl"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
   private:
     struct NodeOff
@@ -59,22 +59,22 @@ class AvlTreeWorkload : public Workload
         static constexpr Bytes size = 16;
     };
 
-    std::uint64_t heightOf(PmSystem &sys, Addr node);
-    void updateHeight(PmSystem &sys, Addr node);
-    Addr rotateLeft(PmSystem &sys, Addr x);
-    Addr rotateRight(PmSystem &sys, Addr x);
-    Addr rebalance(PmSystem &sys, Addr node);
+    std::uint64_t heightOf(PmContext &sys, Addr node);
+    void updateHeight(PmContext &sys, Addr node);
+    Addr rotateLeft(PmContext &sys, Addr x);
+    Addr rotateRight(PmContext &sys, Addr x);
+    Addr rebalance(PmContext &sys, Addr node);
 
     /** Recursive insert; returns the (possibly new) subtree root. */
-    Addr insertRec(PmSystem &sys, Addr node, std::uint64_t key,
+    Addr insertRec(PmContext &sys, Addr node, std::uint64_t key,
                    Addr val_ptr, std::uint64_t val_len);
 
     /** Recovery: recompute heights bottom-up from durable links. */
-    std::uint64_t recomputeHeights(PmSystem &sys, Addr node,
+    std::uint64_t recomputeHeights(PmContext &sys, Addr node,
                                    std::size_t *n,
                                    std::vector<Addr> *reachable);
 
-    bool checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
+    bool checkNode(PmContext &sys, Addr node, std::uint64_t lo,
                    std::uint64_t hi, std::uint64_t *height,
                    std::size_t *n, std::string *why);
 

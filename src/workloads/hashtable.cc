@@ -7,7 +7,7 @@ namespace slpmt
 {
 
 void
-HashTableWorkload::setup(PmSystem &sys)
+HashTableWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteNodeInit = sites.add({.name = "hashtable.insert.node",
@@ -57,7 +57,7 @@ HashTableWorkload::setup(PmSystem &sys)
                                 .defUseDepth = 1});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     journalAddr = sys.heap().alloc(JnlOff::size, seq);
     const Addr buckets =
@@ -77,13 +77,13 @@ HashTableWorkload::setup(PmSystem &sys)
 }
 
 Addr
-HashTableWorkload::writeFreshNode(PmSystem &sys, std::uint64_t key,
+HashTableWorkload::writeFreshNode(PmContext &sys, std::uint64_t key,
                                   Addr next, Addr val_ptr,
                                   std::uint64_t val_len, bool as_copy)
 {
     const SiteId site = as_copy ? siteCopyInit : siteNodeInit;
     const Addr node =
-        sys.heap().alloc(NodeOff::size, sys.engine().currentTxnSeq());
+        sys.heap().alloc(NodeOff::size, sys.currentTxnSeq());
     sys.writeSite<std::uint64_t>(node + NodeOff::key, key, site);
     sys.writeSite<Addr>(node + NodeOff::next, next, site);
     sys.writeSite<Addr>(node + NodeOff::valPtr, val_ptr, site);
@@ -95,11 +95,11 @@ HashTableWorkload::writeFreshNode(PmSystem &sys, std::uint64_t key,
 }
 
 void
-HashTableWorkload::insert(PmSystem &sys, std::uint64_t key,
+HashTableWorkload::insert(PmContext &sys, std::uint64_t key,
                           const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
 
     // Hash computation and control flow.
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
@@ -138,9 +138,9 @@ HashTableWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 void
-HashTableWorkload::resize(PmSystem &sys, std::uint64_t new_num)
+HashTableWorkload::resize(PmContext &sys, std::uint64_t new_num)
 {
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const std::uint64_t old_num =
         sys.read<std::uint64_t>(headerAddr + HdrOff::numBuckets);
     const Addr old_buckets =
@@ -200,7 +200,7 @@ HashTableWorkload::resize(PmSystem &sys, std::uint64_t new_num)
 }
 
 bool
-HashTableWorkload::lookup(PmSystem &sys, std::uint64_t key,
+HashTableWorkload::lookup(PmContext &sys, std::uint64_t key,
                           std::vector<std::uint8_t> *out)
 {
     const std::uint64_t num =
@@ -227,7 +227,7 @@ HashTableWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 std::size_t
-HashTableWorkload::count(PmSystem &sys)
+HashTableWorkload::count(PmContext &sys)
 {
     const std::uint64_t num =
         sys.read<std::uint64_t>(headerAddr + HdrOff::numBuckets);
@@ -244,7 +244,7 @@ HashTableWorkload::count(PmSystem &sys)
 }
 
 std::vector<HashTableWorkload::Survivor>
-HashTableWorkload::walkDurable(PmSystem &sys, Addr buckets,
+HashTableWorkload::walkDurable(PmContext &sys, Addr buckets,
                                std::uint64_t num) const
 {
     std::vector<Survivor> out;
@@ -278,7 +278,7 @@ HashTableWorkload::walkDurable(PmSystem &sys, Addr buckets,
 }
 
 void
-HashTableWorkload::recover(PmSystem &sys)
+HashTableWorkload::recover(PmContext &sys)
 {
     // Hardware replay already ran; re-derive volatile state from the
     // durable roots. A crash inside a resize leaves stale entries in
@@ -315,11 +315,23 @@ HashTableWorkload::recover(PmSystem &sys)
         for (const auto &s : new_set)
             merged[s.key] = s;  // new table wins
 
+        // Capture every survivor's value bytes before the rebuild:
+        // the fresh table reuses the same heap range from its base,
+        // so an early allocation can sit where a later survivor's
+        // blob still lives.
+        std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+            values;
+        for (const auto &[key, s] : merged) {
+            auto &value = values[key];
+            value.resize(s.valLen);
+            sys.peekBytes(s.valPtr, value.data(), s.valLen);
+        }
+
         // Rebuild a fresh table from the merged set. Allocator state
         // is rebuilt below, so reset it first to a blank slate.
         sys.heap().reset();
         DurableTx tx(sys);
-        const std::uint64_t seq = sys.engine().currentTxnSeq();
+        const std::uint64_t seq = sys.currentTxnSeq();
         headerAddr = sys.heap().alloc(HdrOff::size, seq);
         journalAddr = sys.heap().alloc(JnlOff::size, seq);
         std::uint64_t num = initialBuckets;
@@ -332,9 +344,8 @@ HashTableWorkload::recover(PmSystem &sys)
         std::uint64_t cnt = 0;
         for (const auto &[key, s] : merged) {
             // Value blobs were written eagerly by the original insert
-            // and never moved: copy their durable contents.
-            std::vector<std::uint8_t> value(s.valLen);
-            sys.peekBytes(s.valPtr, value.data(), s.valLen);
+            // and never moved: copy their captured durable contents.
+            const std::vector<std::uint8_t> &value = values[key];
             const Addr val_ptr = sys.heap().alloc(s.valLen, seq);
             sys.writeBytes(val_ptr, value.data(), s.valLen);
 
@@ -376,7 +387,7 @@ HashTableWorkload::recover(PmSystem &sys)
 }
 
 std::vector<Addr>
-HashTableWorkload::collectReachable(PmSystem &sys)
+HashTableWorkload::collectReachable(PmContext &sys)
 {
     std::vector<Addr> reachable = {headerAddr, journalAddr};
     const auto num =
@@ -395,7 +406,7 @@ HashTableWorkload::collectReachable(PmSystem &sys)
 }
 
 bool
-HashTableWorkload::checkConsistency(PmSystem &sys, std::string *why)
+HashTableWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     const auto num =
         sys.read<std::uint64_t>(headerAddr + HdrOff::numBuckets);
@@ -433,7 +444,7 @@ HashTableWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-HashTableWorkload::update(PmSystem &sys, std::uint64_t key,
+HashTableWorkload::update(PmContext &sys, std::uint64_t key,
                           const std::vector<std::uint8_t> &value)
 {
     // Locate the node first (plain reads, outside any transaction).
@@ -448,7 +459,7 @@ HashTableWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);
@@ -467,7 +478,7 @@ HashTableWorkload::update(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-HashTableWorkload::remove(PmSystem &sys, std::uint64_t key)
+HashTableWorkload::remove(PmContext &sys, std::uint64_t key)
 {
     const auto num =
         sys.read<std::uint64_t>(headerAddr + HdrOff::numBuckets);

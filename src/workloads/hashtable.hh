@@ -49,17 +49,17 @@ class HashTableWorkload : public Workload
     static constexpr std::uint64_t initialBuckets = 16;
 
     std::string name() const override { return "hashtable"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool remove(PmSystem &sys, std::uint64_t key) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    bool remove(PmContext &sys, std::uint64_t key) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
     /** Number of resizes performed so far (test introspection). */
     std::uint64_t resizes() const { return resizeCount; }
@@ -111,10 +111,10 @@ class HashTableWorkload : public Workload
     }
 
     /** Rehash into a table twice the size (inside the caller's txn). */
-    void resize(PmSystem &sys, std::uint64_t new_num);
+    void resize(PmContext &sys, std::uint64_t new_num);
 
     /** Write one fresh node (log-free sites). */
-    Addr writeFreshNode(PmSystem &sys, std::uint64_t key, Addr next,
+    Addr writeFreshNode(PmContext &sys, std::uint64_t key, Addr next,
                         Addr val_ptr, std::uint64_t val_len,
                         bool as_copy);
 
@@ -127,11 +127,11 @@ class HashTableWorkload : public Workload
     };
 
     /** Walk one durable table image, keeping checksum-valid nodes. */
-    std::vector<Survivor> walkDurable(PmSystem &sys, Addr buckets,
+    std::vector<Survivor> walkDurable(PmContext &sys, Addr buckets,
                                       std::uint64_t num) const;
 
     /** Reachable allocation bases for the heap GC. */
-    std::vector<Addr> collectReachable(PmSystem &sys);
+    std::vector<Addr> collectReachable(PmContext &sys);
 
     /** Store sites, registered in setup(). */
     SiteId siteNodeInit = 0;    //!< fresh node fields (log-free)

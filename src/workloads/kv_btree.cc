@@ -6,7 +6,7 @@ namespace slpmt
 {
 
 void
-KvBtreeWorkload::setup(PmSystem &sys)
+KvBtreeWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteFreshNode = sites.add({.name = "kv-btree.split.freshNode",
@@ -35,7 +35,7 @@ KvBtreeWorkload::setup(PmSystem &sys)
                            .defUseDepth = 3});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     const Addr root = allocNode(sys, tagLeaf);
     sys.write<Addr>(headerAddr + HdrOff::root, root);
@@ -46,10 +46,10 @@ KvBtreeWorkload::setup(PmSystem &sys)
 }
 
 Addr
-KvBtreeWorkload::allocNode(PmSystem &sys, std::uint64_t tag)
+KvBtreeWorkload::allocNode(PmContext &sys, std::uint64_t tag)
 {
     const Addr node =
-        sys.heap().alloc(NodeOff::size, sys.engine().currentTxnSeq());
+        sys.heap().alloc(NodeOff::size, sys.currentTxnSeq());
     sys.writeSite<std::uint64_t>(node + NodeOff::tag, tag,
                                  siteFreshNode);
     sys.writeSite<std::uint64_t>(node + NodeOff::numKeys, 0,
@@ -58,7 +58,7 @@ KvBtreeWorkload::allocNode(PmSystem &sys, std::uint64_t tag)
 }
 
 void
-KvBtreeWorkload::splitChild(PmSystem &sys, Addr parent,
+KvBtreeWorkload::splitChild(PmContext &sys, Addr parent,
                             std::uint64_t idx, Addr child)
 {
     // B+-tree split: a fresh right sibling takes the upper half. For
@@ -123,7 +123,7 @@ KvBtreeWorkload::splitChild(PmSystem &sys, Addr parent,
 }
 
 void
-KvBtreeWorkload::insertNonFull(PmSystem &sys, Addr node,
+KvBtreeWorkload::insertNonFull(PmContext &sys, Addr node,
                                std::uint64_t key, Addr val_ptr,
                                std::uint64_t val_len)
 {
@@ -177,11 +177,11 @@ KvBtreeWorkload::insertNonFull(PmSystem &sys, Addr node,
 }
 
 void
-KvBtreeWorkload::insert(PmSystem &sys, std::uint64_t key,
+KvBtreeWorkload::insert(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
 
     const Addr val_ptr = sys.heap().alloc(value.size(), seq);
@@ -206,7 +206,7 @@ KvBtreeWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-KvBtreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
+KvBtreeWorkload::lookup(PmContext &sys, std::uint64_t key,
                         std::vector<std::uint8_t> *out)
 {
     Addr node = sys.read<Addr>(headerAddr + HdrOff::root);
@@ -238,7 +238,7 @@ KvBtreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 void
-KvBtreeWorkload::collectReachable(PmSystem &sys, Addr node,
+KvBtreeWorkload::collectReachable(PmContext &sys, Addr node,
                                   std::vector<Addr> *out, std::size_t *n)
 {
     out->push_back(node);
@@ -256,13 +256,13 @@ KvBtreeWorkload::collectReachable(PmSystem &sys, Addr node,
 }
 
 std::size_t
-KvBtreeWorkload::count(PmSystem &sys)
+KvBtreeWorkload::count(PmContext &sys)
 {
     return sys.read<std::uint64_t>(headerAddr + HdrOff::count);
 }
 
 void
-KvBtreeWorkload::recover(PmSystem &sys)
+KvBtreeWorkload::recover(PmContext &sys)
 {
     headerAddr = sys.peek<Addr>(sys.rootSlotAddr(headerRootSlot));
     std::vector<Addr> reachable = {headerAddr};
@@ -277,7 +277,7 @@ KvBtreeWorkload::recover(PmSystem &sys)
 }
 
 bool
-KvBtreeWorkload::checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
+KvBtreeWorkload::checkNode(PmContext &sys, Addr node, std::uint64_t lo,
                            std::uint64_t hi, std::size_t depth,
                            std::size_t *leaf_depth, std::size_t *n,
                            std::string *why)
@@ -323,7 +323,7 @@ KvBtreeWorkload::checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
 }
 
 bool
-KvBtreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
+KvBtreeWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     std::size_t leaf_depth = 0;
     std::size_t n = 0;
@@ -337,7 +337,7 @@ KvBtreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-KvBtreeWorkload::update(PmSystem &sys, std::uint64_t key,
+KvBtreeWorkload::update(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     Addr node = sys.read<Addr>(headerAddr + HdrOff::root);
@@ -361,7 +361,7 @@ KvBtreeWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);

@@ -28,16 +28,16 @@ class KvBtreeWorkload : public Workload
     static constexpr std::uint64_t maxKeys = 7;
 
     std::string name() const override { return "kv-btree"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
   private:
     static constexpr std::uint64_t tagLeaf = 0;
@@ -80,22 +80,22 @@ class KvBtreeWorkload : public Workload
         return n + NodeOff::valLens + i * 8;
     }
 
-    Addr allocNode(PmSystem &sys, std::uint64_t tag);
+    Addr allocNode(PmContext &sys, std::uint64_t tag);
 
     /** Split full child @p child (index @p idx) of @p parent. */
-    void splitChild(PmSystem &sys, Addr parent, std::uint64_t idx,
+    void splitChild(PmContext &sys, Addr parent, std::uint64_t idx,
                     Addr child);
 
     /** Insert into a guaranteed-non-full subtree rooted at @p node. */
-    void insertNonFull(PmSystem &sys, Addr node, std::uint64_t key,
+    void insertNonFull(PmContext &sys, Addr node, std::uint64_t key,
                        Addr val_ptr, std::uint64_t val_len);
 
-    bool checkNode(PmSystem &sys, Addr node, std::uint64_t lo,
+    bool checkNode(PmContext &sys, Addr node, std::uint64_t lo,
                    std::uint64_t hi, std::size_t depth,
                    std::size_t *leaf_depth, std::size_t *n,
                    std::string *why);
 
-    void collectReachable(PmSystem &sys, Addr node,
+    void collectReachable(PmContext &sys, Addr node,
                           std::vector<Addr> *out, std::size_t *n);
 
     SiteId siteFreshNode = 0;

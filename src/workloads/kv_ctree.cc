@@ -6,7 +6,7 @@ namespace slpmt
 {
 
 void
-KvCtreeWorkload::setup(PmSystem &sys)
+KvCtreeWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteLeafInit = sites.add({.name = "kv-ctree.insert.leaf",
@@ -42,7 +42,7 @@ KvCtreeWorkload::setup(PmSystem &sys)
                            .defUseDepth = 3});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     sys.write<Addr>(headerAddr + HdrOff::root, 0);
     sys.write<std::uint64_t>(headerAddr + HdrOff::count, 0);
@@ -52,11 +52,11 @@ KvCtreeWorkload::setup(PmSystem &sys)
 }
 
 Addr
-KvCtreeWorkload::makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
+KvCtreeWorkload::makeLeaf(PmContext &sys, std::uint64_t key, Addr val_ptr,
                           std::uint64_t val_len)
 {
     const Addr leaf =
-        sys.heap().alloc(NodeOff::size, sys.engine().currentTxnSeq());
+        sys.heap().alloc(NodeOff::size, sys.currentTxnSeq());
     sys.writeSite<std::uint64_t>(leaf + NodeOff::tag, tagLeaf,
                                  siteLeafInit);
     sys.writeSite<std::uint64_t>(leaf + NodeOff::key, key, siteLeafInit);
@@ -67,7 +67,7 @@ KvCtreeWorkload::makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
 }
 
 Addr
-KvCtreeWorkload::findLeaf(PmSystem &sys, std::uint64_t key)
+KvCtreeWorkload::findLeaf(PmContext &sys, std::uint64_t key)
 {
     Addr cursor = sys.read<Addr>(headerAddr + HdrOff::root);
     while (cursor &&
@@ -83,11 +83,11 @@ KvCtreeWorkload::findLeaf(PmSystem &sys, std::uint64_t key)
 }
 
 void
-KvCtreeWorkload::insert(PmSystem &sys, std::uint64_t key,
+KvCtreeWorkload::insert(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
 
     const Addr val_ptr = sys.heap().alloc(value.size(), seq);
@@ -154,7 +154,7 @@ KvCtreeWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-KvCtreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
+KvCtreeWorkload::lookup(PmContext &sys, std::uint64_t key,
                         std::vector<std::uint8_t> *out)
 {
     const Addr leaf = findLeaf(sys, key);
@@ -170,7 +170,7 @@ KvCtreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 void
-KvCtreeWorkload::collectReachable(PmSystem &sys, Addr node,
+KvCtreeWorkload::collectReachable(PmContext &sys, Addr node,
                                   std::vector<Addr> *out, std::size_t *n)
 {
     if (!node)
@@ -188,13 +188,13 @@ KvCtreeWorkload::collectReachable(PmSystem &sys, Addr node,
 }
 
 std::size_t
-KvCtreeWorkload::count(PmSystem &sys)
+KvCtreeWorkload::count(PmContext &sys)
 {
     return sys.read<std::uint64_t>(headerAddr + HdrOff::count);
 }
 
 void
-KvCtreeWorkload::recover(PmSystem &sys)
+KvCtreeWorkload::recover(PmContext &sys)
 {
     headerAddr = sys.peek<Addr>(sys.rootSlotAddr(headerRootSlot));
     std::vector<Addr> reachable = {headerAddr};
@@ -209,7 +209,7 @@ KvCtreeWorkload::recover(PmSystem &sys)
 }
 
 bool
-KvCtreeWorkload::checkNode(PmSystem &sys, Addr node,
+KvCtreeWorkload::checkNode(PmContext &sys, Addr node,
                            std::uint64_t path_value,
                            std::uint64_t path_mask, std::size_t *n,
                            std::string *why)
@@ -246,7 +246,7 @@ KvCtreeWorkload::checkNode(PmSystem &sys, Addr node,
 }
 
 bool
-KvCtreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
+KvCtreeWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     std::size_t n = 0;
     if (!checkNode(sys, sys.read<Addr>(headerAddr + HdrOff::root), 0, 0,
@@ -258,7 +258,7 @@ KvCtreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-KvCtreeWorkload::update(PmSystem &sys, std::uint64_t key,
+KvCtreeWorkload::update(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     const Addr leaf = findLeaf(sys, key);
@@ -267,7 +267,7 @@ KvCtreeWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);
@@ -281,7 +281,7 @@ KvCtreeWorkload::update(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-KvCtreeWorkload::remove(PmSystem &sys, std::uint64_t key)
+KvCtreeWorkload::remove(PmContext &sys, std::uint64_t key)
 {
     // Walk with the grandparent so the sibling can replace the parent.
     Addr grand = 0;

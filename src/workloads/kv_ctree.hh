@@ -26,17 +26,17 @@ class KvCtreeWorkload : public Workload
     static constexpr std::size_t headerRootSlot = 6;
 
     std::string name() const override { return "kv-ctree"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool remove(PmSystem &sys, std::uint64_t key) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    bool remove(PmContext &sys, std::uint64_t key) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
   private:
     static constexpr std::uint64_t tagLeaf = 0;
@@ -71,17 +71,17 @@ class KvCtreeWorkload : public Workload
         return (key >> (63 - pos)) & 1ULL;
     }
 
-    Addr makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
+    Addr makeLeaf(PmContext &sys, std::uint64_t key, Addr val_ptr,
                   std::uint64_t val_len);
 
     /** Walk to the leaf the key would collide with. */
-    Addr findLeaf(PmSystem &sys, std::uint64_t key);
+    Addr findLeaf(PmContext &sys, std::uint64_t key);
 
-    bool checkNode(PmSystem &sys, Addr node, std::uint64_t prefix,
+    bool checkNode(PmContext &sys, Addr node, std::uint64_t prefix,
                    std::uint64_t prefix_bits, std::size_t *n,
                    std::string *why);
 
-    void collectReachable(PmSystem &sys, Addr node,
+    void collectReachable(PmContext &sys, Addr node,
                           std::vector<Addr> *out, std::size_t *n);
 
     SiteId siteLeafInit = 0;

@@ -4,7 +4,7 @@ namespace slpmt
 {
 
 void
-KvRtreeWorkload::setup(PmSystem &sys)
+KvRtreeWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteLeafInit = sites.add({.name = "kv-rtree.insert.leaf",
@@ -41,7 +41,7 @@ KvRtreeWorkload::setup(PmSystem &sys)
                            .defUseDepth = 3});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     sys.write<Addr>(headerAddr + HdrOff::root, 0);
     sys.write<std::uint64_t>(headerAddr + HdrOff::count, 0);
@@ -51,11 +51,11 @@ KvRtreeWorkload::setup(PmSystem &sys)
 }
 
 Addr
-KvRtreeWorkload::makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
+KvRtreeWorkload::makeLeaf(PmContext &sys, std::uint64_t key, Addr val_ptr,
                           std::uint64_t val_len)
 {
     const Addr leaf = sys.heap().alloc(NodeOff::leafSize,
-                                       sys.engine().currentTxnSeq());
+                                       sys.currentTxnSeq());
     sys.writeSite<std::uint64_t>(leaf + NodeOff::tag, tagLeaf,
                                  siteLeafInit);
     sys.writeSite<std::uint64_t>(leaf + NodeOff::key, key, siteLeafInit);
@@ -66,11 +66,11 @@ KvRtreeWorkload::makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
 }
 
 Addr
-KvRtreeWorkload::makeInternal(PmSystem &sys, std::uint64_t prefix_len,
+KvRtreeWorkload::makeInternal(PmContext &sys, std::uint64_t prefix_len,
                               std::uint64_t packed_prefix)
 {
     const Addr node = sys.heap().alloc(NodeOff::internalSize,
-                                       sys.engine().currentTxnSeq());
+                                       sys.currentTxnSeq());
     sys.writeSite<std::uint64_t>(node + NodeOff::tag, tagInternal,
                                  siteInternalInit);
     sys.writeSite<std::uint64_t>(node + NodeOff::prefixLen, prefix_len,
@@ -84,18 +84,18 @@ KvRtreeWorkload::makeInternal(PmSystem &sys, std::uint64_t prefix_len,
 }
 
 void
-KvRtreeWorkload::setChild(PmSystem &sys, Addr node, std::uint64_t nib,
+KvRtreeWorkload::setChild(PmContext &sys, Addr node, std::uint64_t nib,
                           Addr child, SiteId site)
 {
     sys.writeSite<Addr>(node + NodeOff::children + nib * 8, child, site);
 }
 
 void
-KvRtreeWorkload::insert(PmSystem &sys, std::uint64_t key,
+KvRtreeWorkload::insert(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
 
     const Addr val_ptr = sys.heap().alloc(value.size(), seq);
@@ -185,7 +185,7 @@ KvRtreeWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-KvRtreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
+KvRtreeWorkload::lookup(PmContext &sys, std::uint64_t key,
                         std::vector<std::uint8_t> *out)
 {
     Addr cursor = sys.read<Addr>(headerAddr + HdrOff::root);
@@ -221,7 +221,7 @@ KvRtreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 void
-KvRtreeWorkload::collectReachable(PmSystem &sys, Addr node,
+KvRtreeWorkload::collectReachable(PmContext &sys, Addr node,
                                   std::vector<Addr> *out, std::size_t *n)
 {
     if (!node)
@@ -240,13 +240,13 @@ KvRtreeWorkload::collectReachable(PmSystem &sys, Addr node,
 }
 
 std::size_t
-KvRtreeWorkload::count(PmSystem &sys)
+KvRtreeWorkload::count(PmContext &sys)
 {
     return sys.read<std::uint64_t>(headerAddr + HdrOff::count);
 }
 
 void
-KvRtreeWorkload::recover(PmSystem &sys)
+KvRtreeWorkload::recover(PmContext &sys)
 {
     headerAddr = sys.peek<Addr>(sys.rootSlotAddr(headerRootSlot));
     std::vector<Addr> reachable = {headerAddr};
@@ -261,7 +261,7 @@ KvRtreeWorkload::recover(PmSystem &sys)
 }
 
 bool
-KvRtreeWorkload::checkNode(PmSystem &sys, Addr node,
+KvRtreeWorkload::checkNode(PmContext &sys, Addr node,
                            std::uint64_t path_value,
                            std::uint64_t path_nibbles, std::size_t *n,
                            std::string *why)
@@ -305,7 +305,7 @@ KvRtreeWorkload::checkNode(PmSystem &sys, Addr node,
 }
 
 bool
-KvRtreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
+KvRtreeWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     std::size_t n = 0;
     if (!checkNode(sys, sys.read<Addr>(headerAddr + HdrOff::root), 0, 0,
@@ -317,7 +317,7 @@ KvRtreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-KvRtreeWorkload::update(PmSystem &sys, std::uint64_t key,
+KvRtreeWorkload::update(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     Addr cursor = sys.read<Addr>(headerAddr + HdrOff::root);
@@ -343,7 +343,7 @@ KvRtreeWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);

@@ -33,16 +33,16 @@ class KvRtreeWorkload : public Workload
     static constexpr std::uint64_t fanout = 16;
 
     std::string name() const override { return "kv-rtree"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
   private:
     static constexpr std::uint64_t tagLeaf = 0;
@@ -94,20 +94,20 @@ class KvRtreeWorkload : public Workload
         return (packed >> (60 - 4 * j)) & 0xFULL;
     }
 
-    Addr makeLeaf(PmSystem &sys, std::uint64_t key, Addr val_ptr,
+    Addr makeLeaf(PmContext &sys, std::uint64_t key, Addr val_ptr,
                   std::uint64_t val_len);
-    Addr makeInternal(PmSystem &sys, std::uint64_t prefix_len,
+    Addr makeInternal(PmContext &sys, std::uint64_t prefix_len,
                       std::uint64_t packed_prefix);
 
     /** Write one child slot of a node through @p site. */
-    void setChild(PmSystem &sys, Addr node, std::uint64_t nib,
+    void setChild(PmContext &sys, Addr node, std::uint64_t nib,
                   Addr child, SiteId site);
 
-    bool checkNode(PmSystem &sys, Addr node, std::uint64_t path_value,
+    bool checkNode(PmContext &sys, Addr node, std::uint64_t path_value,
                    std::uint64_t path_nibbles, std::size_t *n,
                    std::string *why);
 
-    void collectReachable(PmSystem &sys, Addr node,
+    void collectReachable(PmContext &sys, Addr node,
                           std::vector<Addr> *out, std::size_t *n);
 
     SiteId siteLeafInit = 0;

@@ -6,7 +6,7 @@ namespace slpmt
 {
 
 void
-MaxHeapWorkload::setup(PmSystem &sys)
+MaxHeapWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteValueInit = sites.add({.name = "heap.insert.value",
@@ -43,7 +43,7 @@ MaxHeapWorkload::setup(PmSystem &sys)
                             .defUseDepth = 2});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     const Addr arr = sys.heap().alloc(initialCapacity * entryBytes, seq);
     sys.write<std::uint64_t>(headerAddr + HdrOff::count, 0);
@@ -56,7 +56,7 @@ MaxHeapWorkload::setup(PmSystem &sys)
 }
 
 MaxHeapWorkload::Entry
-MaxHeapWorkload::readEntry(PmSystem &sys, Addr arr, std::uint64_t idx)
+MaxHeapWorkload::readEntry(PmContext &sys, Addr arr, std::uint64_t idx)
 {
     const Addr e = arr + idx * entryBytes;
     return {sys.read<std::uint64_t>(e), sys.read<Addr>(e + 8),
@@ -64,7 +64,7 @@ MaxHeapWorkload::readEntry(PmSystem &sys, Addr arr, std::uint64_t idx)
 }
 
 void
-MaxHeapWorkload::writeEntry(PmSystem &sys, Addr arr, std::uint64_t idx,
+MaxHeapWorkload::writeEntry(PmContext &sys, Addr arr, std::uint64_t idx,
                             const Entry &e, SiteId site)
 {
     const Addr a = arr + idx * entryBytes;
@@ -74,14 +74,14 @@ MaxHeapWorkload::writeEntry(PmSystem &sys, Addr arr, std::uint64_t idx,
 }
 
 void
-MaxHeapWorkload::grow(PmSystem &sys)
+MaxHeapWorkload::grow(PmContext &sys)
 {
     const auto cap =
         sys.read<std::uint64_t>(headerAddr + HdrOff::capacity);
     const auto cnt = sys.read<std::uint64_t>(headerAddr + HdrOff::count);
     const Addr old_arr = sys.read<Addr>(headerAddr + HdrOff::arrPtr);
     const Addr new_arr = sys.heap().alloc(cap * 2 * entryBytes,
-                                          sys.engine().currentTxnSeq());
+                                          sys.currentTxnSeq());
     for (std::uint64_t i = 0; i < cnt; ++i) {
         sys.compute(opcost::perMove);
         writeEntry(sys, new_arr, i, readEntry(sys, old_arr, i),
@@ -95,11 +95,11 @@ MaxHeapWorkload::grow(PmSystem &sys)
 }
 
 void
-MaxHeapWorkload::insert(PmSystem &sys, std::uint64_t key,
+MaxHeapWorkload::insert(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
 
     const Addr val_ptr = sys.heap().alloc(value.size(), seq);
@@ -137,7 +137,7 @@ MaxHeapWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-MaxHeapWorkload::lookup(PmSystem &sys, std::uint64_t key,
+MaxHeapWorkload::lookup(PmContext &sys, std::uint64_t key,
                         std::vector<std::uint8_t> *out)
 {
     // Linear scan: a heap is not an index, but the checker needs to
@@ -158,7 +158,7 @@ MaxHeapWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-MaxHeapWorkload::peekMax(PmSystem &sys, std::uint64_t *key_out)
+MaxHeapWorkload::peekMax(PmContext &sys, std::uint64_t *key_out)
 {
     const auto cnt = sys.read<std::uint64_t>(headerAddr + HdrOff::count);
     if (cnt == 0)
@@ -170,13 +170,13 @@ MaxHeapWorkload::peekMax(PmSystem &sys, std::uint64_t *key_out)
 }
 
 std::size_t
-MaxHeapWorkload::count(PmSystem &sys)
+MaxHeapWorkload::count(PmContext &sys)
 {
     return sys.read<std::uint64_t>(headerAddr + HdrOff::count);
 }
 
 void
-MaxHeapWorkload::recover(PmSystem &sys)
+MaxHeapWorkload::recover(PmContext &sys)
 {
     // Everything structural is eager: after the hardware undo replay
     // the array and count are consistent. Only leaked allocations
@@ -194,7 +194,7 @@ MaxHeapWorkload::recover(PmSystem &sys)
 }
 
 bool
-MaxHeapWorkload::checkConsistency(PmSystem &sys, std::string *why)
+MaxHeapWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     const auto cnt = sys.read<std::uint64_t>(headerAddr + HdrOff::count);
     const auto cap =
@@ -215,7 +215,7 @@ MaxHeapWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-MaxHeapWorkload::update(PmSystem &sys, std::uint64_t key,
+MaxHeapWorkload::update(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value)
 {
     const auto cnt = sys.read<std::uint64_t>(headerAddr + HdrOff::count);
@@ -232,7 +232,7 @@ MaxHeapWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);
@@ -246,7 +246,7 @@ MaxHeapWorkload::update(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-MaxHeapWorkload::remove(PmSystem &sys, std::uint64_t key)
+MaxHeapWorkload::remove(PmContext &sys, std::uint64_t key)
 {
     const auto cnt = sys.read<std::uint64_t>(headerAddr + HdrOff::count);
     const Addr arr = sys.read<Addr>(headerAddr + HdrOff::arrPtr);

@@ -36,22 +36,22 @@ class MaxHeapWorkload : public Workload
     static constexpr std::uint64_t initialCapacity = 64;
 
     std::string name() const override { return "heap"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
     /** Remove-by-key via swap-with-last and bidirectional sift. */
-    bool remove(PmSystem &sys, std::uint64_t key) override;
+    bool remove(PmContext &sys, std::uint64_t key) override;
 
     /** Read the maximum key (the heap's core query). */
-    bool peekMax(PmSystem &sys, std::uint64_t *key_out);
+    bool peekMax(PmContext &sys, std::uint64_t *key_out);
 
   private:
     /** Entry: {key, valPtr, valLen} — three words. */
@@ -72,11 +72,11 @@ class MaxHeapWorkload : public Workload
         std::uint64_t valLen;
     };
 
-    Entry readEntry(PmSystem &sys, Addr arr, std::uint64_t idx);
-    void writeEntry(PmSystem &sys, Addr arr, std::uint64_t idx,
+    Entry readEntry(PmContext &sys, Addr arr, std::uint64_t idx);
+    void writeEntry(PmContext &sys, Addr arr, std::uint64_t idx,
                     const Entry &e, SiteId site);
 
-    void grow(PmSystem &sys);
+    void grow(PmContext &sys);
 
     SiteId siteValueInit = 0;
     SiteId siteNewSlot = 0;    //!< arr[count] (dead-beyond-count)

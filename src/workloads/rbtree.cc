@@ -6,7 +6,7 @@ namespace slpmt
 {
 
 void
-RbTreeWorkload::setup(PmSystem &sys)
+RbTreeWorkload::setup(PmContext &sys)
 {
     auto &sites = sys.sites();
     siteNodeInit = sites.add({.name = "rbtree.insert.node",
@@ -46,7 +46,7 @@ RbTreeWorkload::setup(PmSystem &sys)
                            .defUseDepth = 3});
 
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     sys.write<Addr>(headerAddr + HdrOff::root, 0);
     sys.write<std::uint64_t>(headerAddr + HdrOff::count, 0);
@@ -56,11 +56,11 @@ RbTreeWorkload::setup(PmSystem &sys)
 }
 
 Addr
-RbTreeWorkload::allocNode(PmSystem &sys, std::uint64_t key, Addr parent,
+RbTreeWorkload::allocNode(PmContext &sys, std::uint64_t key, Addr parent,
                           Addr val_ptr, std::uint64_t val_len)
 {
     const Addr node =
-        sys.heap().alloc(NodeOff::size, sys.engine().currentTxnSeq());
+        sys.heap().alloc(NodeOff::size, sys.currentTxnSeq());
     sys.writeSite<std::uint64_t>(node + NodeOff::key, key, siteNodeInit);
     sys.writeSite<Addr>(node + NodeOff::left, 0, siteNodeInit);
     sys.writeSite<Addr>(node + NodeOff::right, 0, siteNodeInit);
@@ -74,7 +74,7 @@ RbTreeWorkload::allocNode(PmSystem &sys, std::uint64_t key, Addr parent,
 }
 
 void
-RbTreeWorkload::setChild(PmSystem &sys, Addr node, bool right_side,
+RbTreeWorkload::setChild(PmContext &sys, Addr node, bool right_side,
                          Addr child)
 {
     const Bytes off = right_side ? NodeOff::right : NodeOff::left;
@@ -82,25 +82,25 @@ RbTreeWorkload::setChild(PmSystem &sys, Addr node, bool right_side,
 }
 
 void
-RbTreeWorkload::setParent(PmSystem &sys, Addr node, Addr parent)
+RbTreeWorkload::setParent(PmContext &sys, Addr node, Addr parent)
 {
     sys.writeSite<Addr>(node + NodeOff::parent, parent, siteParent);
 }
 
 void
-RbTreeWorkload::setColor(PmSystem &sys, Addr node, std::uint64_t color)
+RbTreeWorkload::setColor(PmContext &sys, Addr node, std::uint64_t color)
 {
     sys.writeSite<std::uint64_t>(node + NodeOff::color, color, siteColor);
 }
 
 void
-RbTreeWorkload::setRoot(PmSystem &sys, Addr root)
+RbTreeWorkload::setRoot(PmContext &sys, Addr root)
 {
     sys.writeSite<Addr>(headerAddr + HdrOff::root, root, siteRoot);
 }
 
 void
-RbTreeWorkload::rotateLeft(PmSystem &sys, Addr x)
+RbTreeWorkload::rotateLeft(PmContext &sys, Addr x)
 {
     const Addr y = sys.read<Addr>(x + NodeOff::right);
     const Addr yl = sys.read<Addr>(y + NodeOff::left);
@@ -120,7 +120,7 @@ RbTreeWorkload::rotateLeft(PmSystem &sys, Addr x)
 }
 
 void
-RbTreeWorkload::rotateRight(PmSystem &sys, Addr x)
+RbTreeWorkload::rotateRight(PmContext &sys, Addr x)
 {
     const Addr y = sys.read<Addr>(x + NodeOff::left);
     const Addr yr = sys.read<Addr>(y + NodeOff::right);
@@ -140,7 +140,7 @@ RbTreeWorkload::rotateRight(PmSystem &sys, Addr x)
 }
 
 void
-RbTreeWorkload::fixupInsert(PmSystem &sys, Addr z)
+RbTreeWorkload::fixupInsert(PmContext &sys, Addr z)
 {
     while (true) {
         const Addr zp = sys.read<Addr>(z + NodeOff::parent);
@@ -189,11 +189,11 @@ RbTreeWorkload::fixupInsert(PmSystem &sys, Addr z)
 }
 
 void
-RbTreeWorkload::insert(PmSystem &sys, std::uint64_t key,
+RbTreeWorkload::insert(PmContext &sys, std::uint64_t key,
                        const std::vector<std::uint8_t> &value)
 {
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
 
     const Addr val_ptr = sys.heap().alloc(value.size(), seq);
@@ -229,7 +229,7 @@ RbTreeWorkload::insert(PmSystem &sys, std::uint64_t key,
 }
 
 bool
-RbTreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
+RbTreeWorkload::lookup(PmContext &sys, std::uint64_t key,
                        std::vector<std::uint8_t> *out)
 {
     Addr cursor = getRoot(sys);
@@ -253,13 +253,13 @@ RbTreeWorkload::lookup(PmSystem &sys, std::uint64_t key,
 }
 
 std::size_t
-RbTreeWorkload::count(PmSystem &sys)
+RbTreeWorkload::count(PmContext &sys)
 {
     return sys.read<std::uint64_t>(headerAddr + HdrOff::count);
 }
 
 void
-RbTreeWorkload::collectDurable(PmSystem &sys, Addr node,
+RbTreeWorkload::collectDurable(PmContext &sys, Addr node,
                                std::vector<Item> &out) const
 {
     if (!node)
@@ -276,7 +276,7 @@ RbTreeWorkload::collectDurable(PmSystem &sys, Addr node,
 }
 
 Addr
-RbTreeWorkload::buildBalanced(PmSystem &sys,
+RbTreeWorkload::buildBalanced(PmContext &sys,
                               const std::vector<Item> &items,
                               std::size_t lo, std::size_t hi,
                               Addr parent, std::size_t depth,
@@ -287,11 +287,11 @@ RbTreeWorkload::buildBalanced(PmSystem &sys,
     const std::size_t mid = lo + (hi - lo) / 2;
     const Item &item = items[mid];
     const Addr val_ptr =
-        sys.heap().alloc(item.value.size(), sys.engine().currentTxnSeq());
+        sys.heap().alloc(item.value.size(), sys.currentTxnSeq());
     sys.writeBytes(val_ptr, item.value.data(), item.value.size());
 
     const Addr node =
-        sys.heap().alloc(NodeOff::size, sys.engine().currentTxnSeq());
+        sys.heap().alloc(NodeOff::size, sys.currentTxnSeq());
     sys.write<std::uint64_t>(node + NodeOff::key, item.key);
     sys.write<Addr>(node + NodeOff::parent, parent);
     // Canonical colouring: only the deepest level is red, which keeps
@@ -310,7 +310,7 @@ RbTreeWorkload::buildBalanced(PmSystem &sys,
 }
 
 void
-RbTreeWorkload::recover(PmSystem &sys)
+RbTreeWorkload::recover(PmContext &sys)
 {
     headerAddr = sys.peek<Addr>(sys.rootSlotAddr(headerRootSlot));
     const Addr root = sys.peek<Addr>(headerAddr + HdrOff::root);
@@ -323,7 +323,7 @@ RbTreeWorkload::recover(PmSystem &sys)
 
     sys.heap().reset();
     DurableTx tx(sys);
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     headerAddr = sys.heap().alloc(HdrOff::size, seq);
     // red_depth = depth of the deepest level of the balanced tree.
     std::size_t levels = 0;
@@ -342,7 +342,7 @@ RbTreeWorkload::recover(PmSystem &sys)
 }
 
 bool
-RbTreeWorkload::checkNode(PmSystem &sys, Addr node, Addr parent,
+RbTreeWorkload::checkNode(PmContext &sys, Addr node, Addr parent,
                           std::uint64_t lo, std::uint64_t hi,
                           std::size_t *black_height, std::size_t *n,
                           std::string *why)
@@ -381,7 +381,7 @@ RbTreeWorkload::checkNode(PmSystem &sys, Addr node, Addr parent,
 }
 
 bool
-RbTreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
+RbTreeWorkload::checkConsistency(PmContext &sys, std::string *why)
 {
     const Addr root = getRoot(sys);
     if (root &&
@@ -399,7 +399,7 @@ RbTreeWorkload::checkConsistency(PmSystem &sys, std::string *why)
 }
 
 bool
-RbTreeWorkload::update(PmSystem &sys, std::uint64_t key,
+RbTreeWorkload::update(PmContext &sys, std::uint64_t key,
                        const std::vector<std::uint8_t> &value)
 {
     Addr node = getRoot(sys);
@@ -415,7 +415,7 @@ RbTreeWorkload::update(PmSystem &sys, std::uint64_t key,
 
     DurableTx tx(sys);
     sys.compute(opcost::insertBase + opcost::valueWork(value.size()));
-    const std::uint64_t seq = sys.engine().currentTxnSeq();
+    const std::uint64_t seq = sys.currentTxnSeq();
     const Addr new_blob = sys.heap().alloc(value.size(), seq);
     sys.writeBytesSite(new_blob, value.data(), value.size(),
                        siteValueInit);

@@ -37,16 +37,16 @@ class RbTreeWorkload : public Workload
     static constexpr std::size_t headerRootSlot = 2;
 
     std::string name() const override { return "rbtree"; }
-    void setup(PmSystem &sys) override;
-    void insert(PmSystem &sys, std::uint64_t key,
+    void setup(PmContext &sys) override;
+    void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    bool lookup(PmSystem &sys, std::uint64_t key,
+    bool lookup(PmContext &sys, std::uint64_t key,
                 std::vector<std::uint8_t> *out) override;
-    bool update(PmSystem &sys, std::uint64_t key,
+    bool update(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;
-    std::size_t count(PmSystem &sys) override;
-    void recover(PmSystem &sys) override;
-    bool checkConsistency(PmSystem &sys, std::string *why) override;
+    std::size_t count(PmContext &sys) override;
+    void recover(PmContext &sys) override;
+    bool checkConsistency(PmContext &sys, std::string *why) override;
 
   private:
     static constexpr std::uint64_t black = 0;
@@ -71,20 +71,20 @@ class RbTreeWorkload : public Workload
         static constexpr Bytes size = 16;
     };
 
-    Addr allocNode(PmSystem &sys, std::uint64_t key, Addr parent,
+    Addr allocNode(PmContext &sys, std::uint64_t key, Addr parent,
                    Addr val_ptr, std::uint64_t val_len);
 
-    void rotateLeft(PmSystem &sys, Addr x);
-    void rotateRight(PmSystem &sys, Addr x);
-    void fixupInsert(PmSystem &sys, Addr z);
+    void rotateLeft(PmContext &sys, Addr x);
+    void rotateRight(PmContext &sys, Addr x);
+    void fixupInsert(PmContext &sys, Addr z);
 
     /** Write a child link, routing through the right site. */
-    void setChild(PmSystem &sys, Addr node, bool right_side, Addr child);
-    void setParent(PmSystem &sys, Addr node, Addr parent);
-    void setColor(PmSystem &sys, Addr node, std::uint64_t color);
-    void setRoot(PmSystem &sys, Addr root);
+    void setChild(PmContext &sys, Addr node, bool right_side, Addr child);
+    void setParent(PmContext &sys, Addr node, Addr parent);
+    void setColor(PmContext &sys, Addr node, std::uint64_t color);
+    void setRoot(PmContext &sys, Addr root);
 
-    Addr getRoot(PmSystem &sys) { return sys.read<Addr>(headerAddr); }
+    Addr getRoot(PmContext &sys) { return sys.read<Addr>(headerAddr); }
 
     /** In-order durable walk (recovery). */
     struct Item
@@ -92,15 +92,15 @@ class RbTreeWorkload : public Workload
         std::uint64_t key;
         std::vector<std::uint8_t> value;
     };
-    void collectDurable(PmSystem &sys, Addr node,
+    void collectDurable(PmContext &sys, Addr node,
                         std::vector<Item> &out) const;
 
     /** Build a balanced subtree from sorted items [lo, hi). */
-    Addr buildBalanced(PmSystem &sys, const std::vector<Item> &items,
+    Addr buildBalanced(PmContext &sys, const std::vector<Item> &items,
                        std::size_t lo, std::size_t hi, Addr parent,
                        std::size_t depth, std::size_t red_depth);
 
-    bool checkNode(PmSystem &sys, Addr node, Addr parent,
+    bool checkNode(PmContext &sys, Addr node, Addr parent,
                    std::uint64_t lo, std::uint64_t hi,
                    std::size_t *black_height, std::size_t *n,
                    std::string *why);

@@ -3,7 +3,9 @@
  * Common interface of the durable data-structure workloads (Table II).
  *
  * Every workload is a persistent key-value container built on the
- * PmSystem API. Insertions run as one durable transaction each, with
+ * PmContext API — the machine surface both the single-core PmSystem
+ * and the per-core contexts of the multicore machine implement.
+ * Insertions run as one durable transaction each, with
  * storeT annotations issued through registered store sites so the
  * same code runs under the manual, compiler, or null annotation
  * policy. Each workload also implements its crash recovery — the
@@ -19,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pm_system.hh"
+#include "core/pm_context.hh"
 #include "core/tx.hh"
 
 namespace slpmt
@@ -70,10 +72,10 @@ class Workload
      * Create the empty durable structure (registers store sites,
      * allocates roots). Leaves the system quiesced.
      */
-    virtual void setup(PmSystem &sys) = 0;
+    virtual void setup(PmContext &sys) = 0;
 
     /** Insert one key/value pair in one durable transaction. */
-    virtual void insert(PmSystem &sys, std::uint64_t key,
+    virtual void insert(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value) = 0;
 
     /**
@@ -87,11 +89,11 @@ class Workload
      *
      * @return false when the key is absent (no transaction runs)
      */
-    virtual bool update(PmSystem &sys, std::uint64_t key,
+    virtual bool update(PmContext &sys, std::uint64_t key,
                         const std::vector<std::uint8_t> &value) = 0;
 
     /** Look a key up; fills @p out when found. */
-    virtual bool lookup(PmSystem &sys, std::uint64_t key,
+    virtual bool lookup(PmContext &sys, std::uint64_t key,
                         std::vector<std::uint8_t> *out) = 0;
 
     /**
@@ -105,7 +107,7 @@ class Workload
      * @return false when the key is absent or removal is unsupported
      */
     virtual bool
-    remove(PmSystem &sys, std::uint64_t key)
+    remove(PmContext &sys, std::uint64_t key)
     {
         (void)sys;
         (void)key;
@@ -113,14 +115,14 @@ class Workload
     }
 
     /** Number of keys currently stored (walks the structure). */
-    virtual std::size_t count(PmSystem &sys) = 0;
+    virtual std::size_t count(PmContext &sys) = 0;
 
     /**
      * Post-crash structure recovery. Called after the hardware undo
      * replay; rebuilds log-free/lazy data from durable state, then
      * garbage-collects leaked allocations.
      */
-    virtual void recover(PmSystem &sys) = 0;
+    virtual void recover(PmContext &sys) = 0;
 
     /**
      * Deep invariant check (structure-specific: hash placement, BST
@@ -128,7 +130,7 @@ class Workload
      *
      * @param why set to a diagnostic when the check fails
      */
-    virtual bool checkConsistency(PmSystem &sys, std::string *why) = 0;
+    virtual bool checkConsistency(PmContext &sys, std::string *why) = 0;
 };
 
 /** Null-terminated diagnostic helper. */

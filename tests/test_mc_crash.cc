@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Multicore crash-point sweeps (sampled tier-1 slice) and the
+ * cross-core acceptance signals: a shared-key 8-core run must record
+ * coherence invalidations and txn-ID-observed remote lazy drains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "multicore/mc_crash.hh"
+#include "multicore/mc_ycsb.hh"
+#include "test_util.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+McCrashSweepConfig
+sweepConfig(SchemeKind kind, LoggingStyle style, std::size_t cores)
+{
+    McCrashSweepConfig cfg;
+    cfg.scheme = kind;
+    cfg.style = style;
+    cfg.run.workload = "hashtable";
+    cfg.run.numCores = cores;
+    cfg.run.opsPerCore = 30;
+    cfg.run.valueBytes = 128;
+    cfg.run.seed = 42;
+    cfg.run.sharedPct = 25;
+    cfg.maxPoints = 14;
+    cfg.tinyCache = true;  // mid-txn evictions give replay real work
+    cfg.workers = 2;
+    return cfg;
+}
+
+void
+expectCleanSweep(SchemeKind kind, LoggingStyle style,
+                 std::size_t cores)
+{
+    const McCrashSweepConfig cfg = sweepConfig(kind, style, cores);
+    const McCrashSweepReport report = runMcCrashSweep(cfg);
+    EXPECT_GT(report.traceStores, 0u);
+    EXPECT_GT(report.pointsExplored(), 2u);
+    // Redo is a no-steal design: a crash between two stores never
+    // lands inside the commit window where its log replays, so the
+    // replay assertion is meaningful for undo only (matches the
+    // single-core sweep suite).
+    if (style == LoggingStyle::Undo) {
+        EXPECT_GT(report.replayedRecordsTotal(), 0u);
+    }
+    EXPECT_EQ(report.violationCount(), 0u)
+        << report.violationsText();
+}
+
+TEST(McCrashSweep, SlpmtUndoTwoCores)
+{
+    expectCleanSweep(SchemeKind::SLPMT, LoggingStyle::Undo, 2);
+}
+
+TEST(McCrashSweep, SlpmtUndoFourCores)
+{
+    expectCleanSweep(SchemeKind::SLPMT, LoggingStyle::Undo, 4);
+}
+
+TEST(McCrashSweep, SlpmtRedoTwoCores)
+{
+    expectCleanSweep(SchemeKind::SLPMT, LoggingStyle::Redo, 2);
+}
+
+TEST(McCrashSweep, FgUndoTwoCores)
+{
+    expectCleanSweep(SchemeKind::FG, LoggingStyle::Undo, 2);
+}
+
+TEST(McCrashSweep, ReproModeReplaysOnePoint)
+{
+    const McCrashSweepConfig cfg =
+        sweepConfig(SchemeKind::SLPMT, LoggingStyle::Undo, 2);
+    const std::uint64_t total = countMcTraceStores(cfg);
+    ASSERT_GT(total, 2u);
+
+    const McCrashPointOutcome mid = runMcCrashPoint(cfg, total / 2);
+    EXPECT_TRUE(mid.fired);
+    EXPECT_TRUE(mid.violations.empty()) << mid.violations[0];
+
+    // Sentinel 0: crash after the whole run completed.
+    const McCrashPointOutcome done = runMcCrashPoint(cfg, 0);
+    EXPECT_FALSE(done.fired);
+    EXPECT_EQ(done.committedOps, 2 * cfg.run.opsPerCore);
+    EXPECT_TRUE(done.violations.empty()) << done.violations[0];
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: the 8-core shared-key configuration exercises the
+// cross-core paths the subsystem exists for.
+// ---------------------------------------------------------------------
+
+TEST(McCrashSweep, EightCoreSharedKeysExerciseCrossCorePaths)
+{
+    McYcsbConfig cfg;
+    cfg.numCores = 8;
+    cfg.opsPerCore = 40;
+    cfg.valueBytes = 48;
+    cfg.seed = 42;
+    cfg.sharedPct = 40;
+
+    const McYcsbResult run = runMcYcsb(cfg);
+    ASSERT_TRUE(run.verified) << run.failure;
+
+    const StatsSnapshot d =
+        StatsRegistry::delta(run.statsBefore, run.statsAfter);
+    EXPECT_GT(d.at("multicore.invalidations"), 0u);
+    EXPECT_GT(d.at("multicore.remoteDrains.idObserved"), 0u);
+    EXPECT_GT(d.at("multicore.remoteHits"), 0u);
+    EXPECT_GT(d.at("multicore.ctxSwitchDrains"), 0u);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

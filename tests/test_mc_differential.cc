@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Multicore vs serialized-oracle differential fuzzing.
+ *
+ * The slot-store driver (mc_slots.hh) pins the PM layout, so the
+ * interleaved multicore run and the serial replay of its commit log
+ * must produce *byte-identical* slot regions — across core counts,
+ * schemes, logging styles, and machine-wide crash points. The YCSB
+ * driver adds the logical-equivalence side over the real KV
+ * structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multicore/mc_slots.hh"
+#include "multicore/mc_ycsb.hh"
+#include "test_util.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+McSlotsConfig
+slotsConfig(std::size_t cores, SchemeKind kind, LoggingStyle style)
+{
+    McSlotsConfig cfg;
+    cfg.numCores = cores;
+    cfg.numSlots = 24;
+    cfg.groupsPerCore = 12;
+    cfg.writesPerGroup = 3;  // straddles the 4-op quantum
+    cfg.seed = 7;
+    cfg.sched.seed = 7;
+    cfg.sched.quantumOps = 4;
+    cfg.sys.scheme = SchemeConfig::forKind(kind);
+    cfg.sys.style = style;
+    cfg.sys.numCores = cores;
+    return cfg;
+}
+
+std::string
+comboName(std::size_t cores, SchemeKind kind, LoggingStyle style)
+{
+    return testName(kind) + "_" +
+           (style == LoggingStyle::Undo ? "undo" : "redo") + "_c" +
+           std::to_string(cores);
+}
+
+// ---------------------------------------------------------------------
+// Clean runs: every core count x scheme x style
+// ---------------------------------------------------------------------
+
+TEST(McDifferential, SlotImagesMatchSerialOracleOnCleanRuns)
+{
+    for (std::size_t cores : {1, 2, 4, 8}) {
+        for (SchemeKind kind : {SchemeKind::SLPMT, SchemeKind::FG}) {
+            for (LoggingStyle style :
+                 {LoggingStyle::Undo, LoggingStyle::Redo}) {
+                const std::string combo =
+                    comboName(cores, kind, style);
+                const McSlotsConfig cfg =
+                    slotsConfig(cores, kind, style);
+                const McSlotsResult run = runMcSlots(cfg);
+                ASSERT_FALSE(run.crashed) << combo;
+                EXPECT_EQ(run.commitLog.size(),
+                          cores * cfg.groupsPerCore)
+                    << combo;
+                EXPECT_EQ(run.image,
+                          serialSlotsImage(cfg, run.commitLog))
+                    << combo;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crashed runs: stratified machine-wide power failures
+// ---------------------------------------------------------------------
+
+TEST(McDifferential, SlotImagesMatchSerialOracleAcrossCrashPoints)
+{
+    for (std::size_t cores : {2, 4}) {
+        for (SchemeKind kind : {SchemeKind::SLPMT, SchemeKind::FG}) {
+            for (LoggingStyle style :
+                 {LoggingStyle::Undo, LoggingStyle::Redo}) {
+                const std::string combo =
+                    comboName(cores, kind, style);
+                const McSlotsConfig cfg =
+                    slotsConfig(cores, kind, style);
+
+                // Size the stratification from a dry run.
+                const std::uint64_t total =
+                    runMcSlots(cfg).storesExecuted;
+                ASSERT_GT(total, 8u) << combo;
+
+                for (std::uint64_t point :
+                     {std::uint64_t{1}, total / 4, total / 2,
+                      3 * total / 4, total - 1}) {
+                    const McSlotsResult run = runMcSlots(cfg, point);
+                    EXPECT_TRUE(run.crashed)
+                        << combo << " @" << point;
+                    EXPECT_EQ(run.image,
+                              serialSlotsImage(cfg, run.commitLog))
+                        << combo << " @" << point;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The configuration genuinely provokes cross-core conflicts
+// ---------------------------------------------------------------------
+
+TEST(McDifferential, SpanningGroupsProvokeConflictAborts)
+{
+    // Groups of 3 stores against a 4-op quantum leave suspended
+    // in-flight transactions around every quantum boundary; with all
+    // cores drawing from one small slot pool, probes must hit them.
+    const McSlotsConfig cfg =
+        slotsConfig(4, SchemeKind::SLPMT, LoggingStyle::Undo);
+    const McSlotsResult run = runMcSlots(cfg);
+    ASSERT_FALSE(run.crashed);
+    EXPECT_GT(run.stats.at("multicore.conflictAborts"), 0u);
+
+    // Aborted groups retried: the commit log still ends complete.
+    EXPECT_EQ(run.commitLog.size(), cfg.numCores * cfg.groupsPerCore);
+    EXPECT_EQ(run.image, serialSlotsImage(cfg, run.commitLog));
+}
+
+// ---------------------------------------------------------------------
+// YCSB logical differential over the real KV structures
+// ---------------------------------------------------------------------
+
+TEST(McDifferential, YcsbCommitLogReplaysSeriallyToSameLogicalState)
+{
+    for (std::size_t cores : {2, 4}) {
+        for (SchemeKind kind : {SchemeKind::SLPMT, SchemeKind::FG}) {
+            McYcsbConfig cfg;
+            cfg.numCores = cores;
+            cfg.opsPerCore = 30;
+            cfg.valueBytes = 48;
+            cfg.seed = 77;
+            cfg.sharedPct = 30;
+            cfg.sys.scheme = SchemeConfig::forKind(kind);
+            cfg.sys.numCores = cores;
+
+            const std::string combo =
+                testName(kind) + "_c" + std::to_string(cores);
+            const McYcsbResult run = runMcYcsb(cfg);
+            ASSERT_TRUE(run.verified) << combo << ": " << run.failure;
+
+            std::string why;
+            EXPECT_TRUE(replaySerialOracle(cfg, run.commitLog, &why))
+                << combo << ": " << why;
+        }
+    }
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -149,7 +149,9 @@ checkStatsInvariants(const std::string &key, const ExperimentResult &res,
               v("txn.lazyDrain.sigHit") + v("txn.lazyDrain.lineOwner") +
                   v("txn.lazyDrain.idWrap") +
                   v("txn.lazyDrain.eviction") +
-                  v("txn.lazyDrain.explicit"))
+                  v("txn.lazyDrain.explicit") +
+                  v("txn.lazyDrain.remoteSigHit") +
+                  v("txn.lazyDrain.remoteIdObserved"))
         << key;
 
     // Histogram totals agree with their event counters.
