@@ -16,6 +16,8 @@
  *               --crash-point=117           # reproduce one tuple
  */
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <algorithm>
 #include <cstdlib>
@@ -52,7 +54,26 @@ struct CliOptions
     bool tinyCache = false;
     std::string jsonPath;
     long long crashPoint = -1;  //!< >= 0: reproduce a single point
+
+    bool useCheckpoints = true;
+    std::size_t checkpointInterval = 64;
+
+    /** Profile mode: time checkpointed vs full-replay sweeps, verify
+     *  their reports match, and write a sweep-speed JSON. */
+    std::string profilePath;
+
+    /** > 0: gate on checkpoint-vs-fullreplay speedup (profile mode). */
+    double speedThreshold = 0.0;
 };
+
+/** Process peak resident set size in kilobytes. */
+std::uint64_t
+peakRssKb()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
 
 std::vector<std::string>
 splitList(const std::string &s)
@@ -109,7 +130,17 @@ usage()
         "                     mid-txn (exercises log replay)\n"
         "  --json=PATH        write the JSON report to PATH\n"
         "  --crash-point=K    reproduce one point (single scheme/"
-        "workload); K=0 is the post-completion point\n");
+        "workload); K=0 is the post-completion point\n"
+        "  --checkpoint-interval=N  stores between master-run "
+        "checkpoints (default 64)\n"
+        "  --no-checkpoint    audit mode: re-run every point from "
+        "scratch (O(P*T))\n"
+        "  --profile=PATH     time checkpointed vs full-replay "
+        "sweeps, verify the reports are byte-identical, write a "
+        "sweep-speed JSON to PATH\n"
+        "  --speed-threshold=X  with --profile: fail unless the "
+        "checkpointed sweep is at least X times faster (250 ms "
+        "noise floor)\n");
 }
 
 CliOptions
@@ -172,6 +203,14 @@ parseArgs(int argc, char **argv)
             opt.jsonPath = v;
         } else if (const char *v = val("--crash-point")) {
             opt.crashPoint = std::strtoll(v, nullptr, 10);
+        } else if (const char *v = val("--checkpoint-interval")) {
+            opt.checkpointInterval = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--no-checkpoint") {
+            opt.useCheckpoints = false;
+        } else if (const char *v = val("--profile")) {
+            opt.profilePath = v;
+        } else if (const char *v = val("--speed-threshold")) {
+            opt.speedThreshold = std::strtod(v, nullptr);
         } else {
             usage();
             std::exit(arg == "--help" ? 0 : 2);
@@ -196,6 +235,8 @@ configFor(const CliOptions &opt, const std::string &scheme,
     cfg.mix.removePct = opt.removePct;
     cfg.maxPoints = opt.full ? 0 : opt.maxPoints;
     cfg.tinyCache = opt.tinyCache;
+    cfg.checkpointInterval = opt.checkpointInterval;
+    cfg.useCheckpoints = opt.useCheckpoints;
     cfg.workers = opt.workers
                       ? opt.workers
                       : std::max(1u,
@@ -238,6 +279,98 @@ main(int argc, char **argv)
         for (const auto &v : out.violations)
             std::printf("VIOLATION %s\n", v.c_str());
         return out.violations.empty() ? 0 : 1;
+    }
+
+    // Profile mode: run every cell twice — checkpointed and
+    // full-replay audit — verify the reports are byte-identical, and
+    // record the speed ratio. The optional gate compares against
+    // --speed-threshold with a 250 ms noise floor (a full replay that
+    // finishes under the floor is too small to time reliably).
+    if (!opt.profilePath.empty() || opt.speedThreshold > 0.0) {
+        int failures = 0;
+        double ckpt_ms = 0.0;
+        double replay_ms = 0.0;
+        std::size_t points = 0;
+        bool reports_match = true;
+
+        JsonWriter w;
+        w.beginObject();
+        w.key("schema").value("slpmt-sweep-speed-1");
+        w.key("sweep").beginObject();
+        w.key("cells").beginObject();
+        for (const auto &scheme : opt.schemes) {
+            for (const auto &workload : opt.workloads) {
+                CrashSweepConfig cfg =
+                    configFor(opt, scheme, workload);
+                cfg.useCheckpoints = true;
+                const CrashSweepReport ckpt = runCrashSweep(cfg);
+                cfg.useCheckpoints = false;
+                const CrashSweepReport replay = runCrashSweep(cfg);
+
+                const bool match = ckpt.toJson() == replay.toJson();
+                if (!match) {
+                    std::fprintf(stderr,
+                                 "AUDIT BROKEN: checkpointed and "
+                                 "full-replay reports differ (%s, "
+                                 "%s)\n",
+                                 scheme.c_str(), workload.c_str());
+                    reports_match = false;
+                    ++failures;
+                }
+                failures += ckpt.violationCount() > 0 ? 1 : 0;
+
+                ckpt_ms += ckpt.wallMs;
+                replay_ms += replay.wallMs;
+                points += ckpt.pointsExplored();
+                w.key(workload + "/" + scheme).beginObject();
+                w.key("checkpointMs").value(ckpt.wallMs);
+                w.key("fullReplayMs").value(replay.wallMs);
+                w.key("points").value(ckpt.pointsExplored());
+                w.key("speedup").value(
+                    ckpt.wallMs > 0.0 ? replay.wallMs / ckpt.wallMs
+                                      : 0.0);
+                w.endObject();
+            }
+        }
+        w.endObject();
+        const double speedup =
+            ckpt_ms > 0.0 ? replay_ms / ckpt_ms : 0.0;
+        w.key("totalCheckpointMs").value(ckpt_ms);
+        w.key("totalFullReplayMs").value(replay_ms);
+        w.key("points").value(points);
+        w.key("pointsPerSecCheckpoint")
+            .value(ckpt_ms > 0.0 ? 1000.0 * points / ckpt_ms : 0.0);
+        w.key("pointsPerSecFullReplay")
+            .value(replay_ms > 0.0 ? 1000.0 * points / replay_ms
+                                   : 0.0);
+        w.key("speedup").value(speedup);
+        w.key("ckptInterval").value(opt.checkpointInterval);
+        w.key("reportsMatch").value(reports_match);
+        w.endObject();
+        w.key("peakRssKb").value(peakRssKb());
+        w.endObject();
+
+        std::printf("checkpointed %.0f ms vs full replay %.0f ms -> "
+                    "speedup %.2fx over %zu points\n",
+                    ckpt_ms, replay_ms, speedup, points);
+
+        if (!opt.profilePath.empty()) {
+            std::ofstream out(opt.profilePath);
+            out << w.str() << '\n';
+        }
+        if (opt.speedThreshold > 0.0) {
+            if (replay_ms < 250.0) {
+                std::printf("speed gate skipped: full replay %.0f ms "
+                            "is under the 250 ms noise floor\n",
+                            replay_ms);
+            } else if (speedup < opt.speedThreshold) {
+                std::fprintf(stderr,
+                             "SPEED GATE FAILED: %.2fx < %.2fx\n",
+                             speedup, opt.speedThreshold);
+                ++failures;
+            }
+        }
+        return failures;
     }
 
     int failures = 0;

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +45,9 @@ struct CliOptions
     bool full = false;
     std::size_t workers = 0;  //!< 0: hardware concurrency
     long long crashPoint = -1;
+    bool useCheckpoints = true;
+    std::size_t checkpointInterval = 64;
+    std::string jsonPath;
 };
 
 std::vector<std::string>
@@ -100,7 +104,12 @@ usage()
         "  --full             explore every store\n"
         "  --workers=N        sweep threads (default: all cores)\n"
         "  --crash-point=K    reproduce one point (single scheme and "
-        "core count); K=0 is the post-completion point\n");
+        "core count); K=0 is the post-completion point\n"
+        "  --checkpoint-interval=N  stores between master-run "
+        "checkpoints (default 64)\n"
+        "  --no-checkpoint    audit mode: re-run every point from "
+        "scratch (O(P*T))\n"
+        "  --json=PATH        write the JSON reports to PATH\n");
 }
 
 CliOptions
@@ -152,6 +161,12 @@ parseArgs(int argc, char **argv)
             opt.workers = std::strtoull(v, nullptr, 10);
         } else if (const char *v = val("--crash-point")) {
             opt.crashPoint = std::strtoll(v, nullptr, 10);
+        } else if (const char *v = val("--checkpoint-interval")) {
+            opt.checkpointInterval = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--no-checkpoint") {
+            opt.useCheckpoints = false;
+        } else if (const char *v = val("--json")) {
+            opt.jsonPath = v;
         } else {
             usage();
             std::exit(arg == "--help" ? 0 : 2);
@@ -175,6 +190,8 @@ configFor(const CliOptions &opt, const std::string &scheme,
     cfg.run.sharedPct = opt.sharedPct;
     cfg.maxPoints = opt.full ? 0 : opt.maxPoints;
     cfg.tinyCache = opt.tinyCache;
+    cfg.checkpointInterval = opt.checkpointInterval;
+    cfg.useCheckpoints = opt.useCheckpoints;
     cfg.workers =
         opt.workers
             ? opt.workers
@@ -218,6 +235,7 @@ main(int argc, char **argv)
     }
 
     int failures = 0;
+    std::vector<std::string> sweep_jsons;
     for (const auto &scheme : opt.schemes) {
         for (std::size_t cores : opt.coreCounts) {
             const McCrashSweepConfig cfg =
@@ -226,7 +244,20 @@ main(int argc, char **argv)
             std::printf("%s", report.summaryText().c_str());
             if (report.violationCount() > 0)
                 ++failures;
+            sweep_jsons.push_back(report.toJson());
         }
+    }
+
+    if (!opt.jsonPath.empty()) {
+        std::string doc = "{\"sweeps\":[";
+        for (std::size_t i = 0; i < sweep_jsons.size(); ++i) {
+            if (i)
+                doc += ',';
+            doc += sweep_jsons[i];
+        }
+        doc += "]}";
+        std::ofstream out(opt.jsonPath);
+        out << doc << '\n';
     }
     return failures;
 }

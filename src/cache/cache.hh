@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/cache_line.hh"
+#include "checkpoint/serde.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -250,6 +251,74 @@ class Cache
             return false;
         }
         return true;
+    }
+    /** @} */
+
+    /** @name Checkpointing */
+    /** @{ */
+
+    /**
+     * Serialize the replacement clock and every valid frame (absolute
+     * frame index + architectural fields). Invalid frames carry no
+     * observable state — victimFor() prefers any invalid way before
+     * consulting timestamps — so they are omitted.
+     */
+    void
+    saveState(BlobWriter &w) const
+    {
+        w.u<std::uint64_t>(useClock);
+        std::uint64_t valid_count = 0;
+        for (const auto &line : lines)
+            valid_count += line.valid() ? 1 : 0;
+        w.u<std::uint64_t>(valid_count);
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const CacheLine &line = lines[i];
+            if (!line.valid())
+                continue;
+            w.u<std::uint64_t>(i);
+            w.u<Addr>(line.tag);
+            w.u<std::uint8_t>(static_cast<std::uint8_t>(line.state));
+            w.b(line.dirty);
+            w.b(line.persistBit);
+            w.u<std::uint8_t>(line.logBits);
+            w.u<std::uint8_t>(line.txnId);
+            w.u<std::uint64_t>(line.txnSeq);
+            w.u<std::uint64_t>(line.lastUse);
+            w.bytes(line.data.data(), line.data.size());
+        }
+    }
+
+    /**
+     * Restore into this (same-geometry) array: invalidate everything,
+     * then rebuild the saved frames and re-link the metadata index.
+     */
+    void
+    restoreState(BlobReader &r)
+    {
+        invalidateAll();
+        useClock = r.u<std::uint64_t>();
+        const std::size_t n = r.count(1);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint64_t idx = r.u<std::uint64_t>();
+            if (idx >= lines.size())
+                throw CheckpointError(config.name +
+                                      ": frame index out of range");
+            CacheLine &line = lines[static_cast<std::size_t>(idx)];
+            line.tag = r.u<Addr>();
+            const std::uint8_t st = r.u<std::uint8_t>();
+            if (st > static_cast<std::uint8_t>(MesiState::Modified))
+                throw CheckpointError(config.name +
+                                      ": bad MESI state");
+            line.state = static_cast<MesiState>(st);
+            line.dirty = r.b();
+            line.persistBit = r.b();
+            line.logBits = r.u<std::uint8_t>();
+            line.txnId = r.u<std::uint8_t>();
+            line.txnSeq = r.u<std::uint64_t>();
+            line.lastUse = r.u<std::uint64_t>();
+            r.bytes(line.data.data(), line.data.size());
+            syncMetaIndex(line);
+        }
     }
     /** @} */
 

@@ -102,6 +102,15 @@ class Rng
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    /** The raw generator state (checkpoint capture). */
+    std::array<std::uint64_t, 4> rawState() const { return state; }
+
+    /** Restore a previously captured raw state. */
+    void setRawState(const std::array<std::uint64_t, 4> &s)
+    {
+        state = s;
+    }
+
   private:
     static constexpr std::uint64_t
     rotl(std::uint64_t x, int k)

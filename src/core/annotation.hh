@@ -78,6 +78,10 @@ class StoreSiteRegistry
     std::size_t size() const { return sites.size(); }
     const std::vector<StoreSiteInfo> &all() const { return sites; }
 
+    /** Forget every site (checkpoint restore re-adds them in order,
+     *  reproducing the identical SiteId assignment). */
+    void clear() { sites.clear(); }
+
   private:
     std::vector<StoreSiteInfo> sites;
 };

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/serde.hh"
 #include "common/logging.hh"
 #include "stats/stats.hh"
 #include "common/types.hh"
@@ -163,6 +164,45 @@ class PersistentHeap
 
     Addr base() const { return heapBase; }
     Bytes size() const { return heapSize; }
+
+    /** @name Checkpointing (ordered maps: deterministic iteration) */
+    /** @{ */
+    void
+    saveState(BlobWriter &w) const
+    {
+        w.u<std::uint64_t>(freeRanges.size());
+        for (const auto &[addr, len] : freeRanges) {
+            w.u<Addr>(addr);
+            w.u<Bytes>(len);
+        }
+        w.u<std::uint64_t>(live.size());
+        for (const auto &[addr, info] : live) {
+            w.u<Addr>(addr);
+            w.u<Bytes>(info.size);
+            w.u<std::uint64_t>(info.txnSeq);
+        }
+    }
+
+    void
+    restoreState(BlobReader &r)
+    {
+        freeRanges.clear();
+        live.clear();
+        const std::size_t nfree = r.count(2 * sizeof(Addr));
+        for (std::size_t i = 0; i < nfree; ++i) {
+            const Addr addr = r.u<Addr>();
+            freeRanges[addr] = r.u<Bytes>();
+        }
+        const std::size_t nlive = r.count(3 * sizeof(Addr));
+        for (std::size_t i = 0; i < nlive; ++i) {
+            const Addr addr = r.u<Addr>();
+            AllocInfo info;
+            info.size = r.u<Bytes>();
+            info.txnSeq = r.u<std::uint64_t>();
+            live[addr] = info;
+        }
+    }
+    /** @} */
 
   private:
     static Bytes

@@ -142,6 +142,35 @@ class LogBuffer
         return tiers.at(i);
     }
 
+    /** @name Checkpointing (the sink pointer is rewired by the owner) */
+    /** @{ */
+    void
+    saveState(BlobWriter &w) const
+    {
+        for (const auto &t : tiers) {
+            w.u<std::uint64_t>(t.size());
+            for (const auto &rec : t)
+                rec.saveState(w);
+        }
+    }
+
+    void
+    restoreState(BlobReader &r)
+    {
+        for (auto &t : tiers) {
+            t.clear();
+            const std::size_t n = r.count(1);
+            if (n > tierCapacity)
+                throw CheckpointError("log buffer tier overflow");
+            for (std::size_t i = 0; i < n; ++i) {
+                LogRecord rec;
+                rec.restoreState(r);
+                t.push_back(rec);
+            }
+        }
+    }
+    /** @} */
+
   private:
     /** Insert into tier @p t, coalescing upward; assumes alignment. */
     Cycles insertAtTier(std::size_t t, LogRecord rec, Cycles now);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "checkpoint/serde.hh"
 #include "stats/stats.hh"
 #include "common/types.hh"
 #include "mem/paged_memory.hh"
@@ -60,6 +61,14 @@ class DramDevice
 
     /** DRAM loses its contents on power failure. */
     void crash() { image.clear(); openRow = invalidRow; }
+
+    /** The volatile image store (checkpoint page snapshots). */
+    PagedMemory &memory() { return image; }
+    const PagedMemory &memory() const { return image; }
+
+    /** Serialize timing state (image paged out separately). */
+    void saveState(BlobWriter &w) const { w.u<Addr>(openRow); }
+    void restoreState(BlobReader &r) { openRow = r.u<Addr>(); }
 
   private:
     static constexpr Addr invalidRow = ~static_cast<Addr>(0);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "checkpoint/serde.hh"
 #include "stats/stats.hh"
 #include "common/types.hh"
 #include "mem/paged_memory.hh"
@@ -192,6 +193,39 @@ class PmDevice
 
     /** Update the media write latency (Figure 12 sweep). */
     void setWriteLatencyNs(std::uint64_t ns) { config.writeLatencyNs = ns; }
+
+    /** The durable image store (checkpoint page snapshots). */
+    PagedMemory &memory() { return image; }
+    const PagedMemory &memory() const { return image; }
+
+    /** Serialize WPQ/media timing state (the image is paged out
+     *  separately via PagedMemory snapshots). */
+    void
+    saveState(BlobWriter &w) const
+    {
+        w.u<std::uint64_t>(pending.size());
+        for (const auto &e : pending) {
+            w.u<Cycles>(e.completion);
+            w.u<Addr>(e.line);
+        }
+        w.u<Cycles>(lastInitiation);
+        w.u<Addr>(lastDrainLine);
+    }
+
+    void
+    restoreState(BlobReader &r)
+    {
+        pending.clear();
+        const std::size_t n = r.count(sizeof(Cycles) + sizeof(Addr));
+        for (std::size_t i = 0; i < n; ++i) {
+            WpqEntry e;
+            e.completion = r.u<Cycles>();
+            e.line = r.u<Addr>();
+            pending.push_back(e);
+        }
+        lastInitiation = r.u<Cycles>();
+        lastDrainLine = r.u<Addr>();
+    }
 
   private:
     /** One pending (not yet drained) WPQ entry. */

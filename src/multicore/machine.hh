@@ -143,10 +143,19 @@ class McMachine : public RemoteLineFolder
     StatsRegistry &sharedStats() { return shared; }
     PmDevice &pm() { return pmDev; }
     const PmDevice &pm() const { return pmDev; }
+    DramDevice &dram() { return dramDev; }
+    Cache &l3() { return sharedL3; }
     PersistentHeap &heap() { return pmHeap; }
     StoreSiteRegistry &sites() { return siteRegistry; }
     const AddressMap &map() const { return config.map; }
     const SystemConfig &cfg() const { return config; }
+
+    /** @name Checkpoint access to the shared machine registers */
+    /** @{ */
+    std::uint64_t sharedSeqCounter() const { return seqCounter; }
+    void setSharedSeqCounter(std::uint64_t v) { seqCounter = v; }
+    std::uint64_t sharedCrashCountdown() const { return crashCountdown; }
+    /** @} */
 
     void setAnnotationPolicy(const AnnotationPolicy *p)
     {

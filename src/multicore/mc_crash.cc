@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "checkpoint/checkpoint.hh"
 #include "common/rng.hh"
+#include "sim/json.hh"
 #include "validate/work_queue.hh"
 #include "workloads/ycsb.hh"
 
@@ -43,6 +46,7 @@ reproTuple(const McCrashSweepConfig &cfg, std::uint64_t crash_point)
            " cores=" + std::to_string(cfg.run.numCores) +
            " seed=" + std::to_string(cfg.run.seed) +
            std::string(cfg.tinyCache ? " tiny_cache=1" : "") +
+           " ckpt_interval=" + std::to_string(cfg.checkpointInterval) +
            " crash_point=" + std::to_string(crash_point) + ")";
 }
 
@@ -102,7 +106,86 @@ checkState(PmContext &ctx, Workload &wl, const Shadow &shadow,
     }
 }
 
-/** Run one crash point against pre-generated streams. */
+/**
+ * From the crash (or run completion) onward, every path is the same:
+ * power off if nothing fired, rebuild the shadow from the commit log,
+ * recover, and run the oracle phases.
+ */
+void
+finishPoint(const McCrashSweepConfig &cfg, const McYcsbConfig &rc,
+            const std::string &tuple, McMachine &machine, Workload &wl,
+            const std::vector<std::vector<McOpRecord>> &streams,
+            const std::vector<McOpRecord> &commit_log, bool crashed,
+            McCrashPointOutcome &out)
+{
+    const std::uint64_t crash_point = out.crashPoint;
+    out.fired = crashed;
+    out.committedOps = commit_log.size();
+
+    // Power off after the run when the armed point never fired
+    // (or for the explicit post-completion sentinel).
+    if (!crashed)
+        machine.crash();
+
+    Shadow shadow;
+    for (const auto &op : commit_log)
+        shadow[op.key] = op.value;
+
+    std::vector<std::uint64_t> absent;
+    {
+        std::set<std::uint64_t> keys;
+        for (const auto &stream : streams)
+            for (const auto &op : stream)
+                keys.insert(op.key);
+        for (std::uint64_t key : keys) {
+            if (!shadow.count(key))
+                absent.push_back(key);
+        }
+    }
+
+    // Hardware replay of every core's log slice, then the
+    // workload's user-level recovery (runs on core 0 — recovery
+    // is single-threaded kernel/runtime work).
+    out.replayedRecords = machine.recover();
+    wl.recover(machine.context(0));
+    checkState(machine.context(0), wl, shadow, absent, tuple,
+               "post-recovery", out.violations);
+
+    if (cfg.checkIdempotence) {
+        const std::size_t again = machine.recover();
+        if (again != 0)
+            out.violations.push_back(
+                tuple + " idempotence: second hardware recovery "
+                        "replayed " +
+                std::to_string(again) + " records");
+        wl.recover(machine.context(0));
+        checkState(machine.context(0), wl, shadow, absent, tuple,
+                   "idempotence", out.violations);
+    }
+
+    // The structure must keep working: fresh even-keyed inserts
+    // (stream keys are odd) spread across the cores.
+    if (cfg.continuationOps > 0) {
+        Rng rng(mix64(rc.seed) ^ (crash_point + 1));
+        for (std::size_t i = 0; i < cfg.continuationOps; ++i) {
+            std::uint64_t key;
+            do {
+                key = ((rng.next() >> 1) | 2ULL) &
+                      ~static_cast<std::uint64_t>(1);
+            } while (shadow.count(key));
+            const auto value = ycsbValueFor(key, rc.valueBytes);
+            wl.insert(machine.context(i % rc.numCores), key,
+                      value);
+            shadow[key] = value;
+        }
+        checkState(machine.context(0), wl, shadow, absent, tuple,
+                   "continuation", out.violations);
+    }
+
+    out.stats = machine.snapshot();
+}
+
+/** Run one crash point against pre-generated streams (from scratch). */
 McCrashPointOutcome
 runPointOnStreams(const McCrashSweepConfig &cfg,
                   const std::vector<std::vector<McOpRecord>> &streams,
@@ -137,70 +220,151 @@ runPointOnStreams(const McCrashSweepConfig &cfg,
         const McScheduleResult run =
             runInterleaved(machine, ptrs, rc.sched);
         machine.armCrashAfterStores(0);
-        out.fired = run.crashed;
-        out.committedOps = commit_log.size();
+        finishPoint(cfg, rc, tuple, machine, *wl, streams, commit_log,
+                    run.crashed, out);
+    } catch (const std::exception &e) {
+        out.violations.push_back(tuple + " exception: " + e.what());
+    }
+    return out;
+}
 
-        // Power off after the run when the armed point never fired
-        // (or for the explicit post-completion sentinel).
-        if (!run.crashed)
-            machine.crash();
+/**
+ * One node of the master run's checkpoint chain: the machine at a
+ * quantum boundary plus everything host-side the boundary needs —
+ * workload roots, per-driver cursors, the commit log so far, and the
+ * scheduler's register file. Immutable after capture; workers fork
+ * from it concurrently.
+ */
+struct McTraceCheckpoint
+{
+    std::shared_ptr<const MachineCheckpoint> machine;
+    std::shared_ptr<const Workload> workload;
+    std::vector<McOpRecord> commitLog;
+    std::vector<std::size_t> cursors;
+    McScheduleState sched;
+    std::uint64_t storesAt = 0;
+};
 
-        Shadow shadow;
-        for (const auto &op : commit_log)
-            shadow[op.key] = op.value;
+struct McCheckpointChain
+{
+    std::vector<McTraceCheckpoint> entries;
+    std::uint64_t traceStores = 0;
+};
 
-        std::vector<std::uint64_t> absent;
-        {
-            std::set<std::uint64_t> keys;
-            for (const auto &stream : streams)
-                for (const auto &op : stream)
-                    keys.insert(op.key);
-            for (std::uint64_t key : keys) {
-                if (!shadow.count(key))
-                    absent.push_back(key);
-            }
+/**
+ * The master run: execute the interleaving once, dropping a
+ * checkpoint at every quantum boundary that completes another
+ * checkpointInterval stores (plus the entry boundary, so every crash
+ * point has a base). Also yields the total store count, absorbing
+ * the dry run.
+ */
+McCheckpointChain
+buildMcChain(const McCrashSweepConfig &cfg,
+             const std::vector<std::vector<McOpRecord>> &streams)
+{
+    McCheckpointChain chain;
+    const McYcsbConfig rc = runConfigFor(cfg);
+    SystemConfig sys_cfg = rc.sys;
+    sys_cfg.numCores = rc.numCores;
+    McMachine machine(sys_cfg);
+    if (rc.policy)
+        machine.setAnnotationPolicy(rc.policy);
+
+    auto wl = makeWorkload(rc.workload);
+    wl->setup(machine.context(0));
+
+    std::vector<McOpRecord> commit_log;
+    std::vector<std::unique_ptr<McYcsbDriver>> drivers;
+    std::vector<McCoreDriver *> ptrs;
+    for (std::size_t i = 0; i < rc.numCores; ++i) {
+        drivers.push_back(std::make_unique<McYcsbDriver>(
+            machine.context(i), *wl, streams[i], commit_log));
+        ptrs.push_back(drivers.back().get());
+    }
+
+    const std::uint64_t base = machine.storesExecuted();
+    const std::uint64_t interval =
+        std::max<std::size_t>(cfg.checkpointInterval, 1);
+    runInterleaved(machine, ptrs, rc.sched,
+                   [&](const McScheduleState &st) {
+                       const std::uint64_t stores =
+                           machine.storesExecuted() - base;
+                       if (!chain.entries.empty() &&
+                           stores - chain.entries.back().storesAt <
+                               interval)
+                           return;
+                       McTraceCheckpoint t;
+                       t.machine =
+                           std::make_shared<const MachineCheckpoint>(
+                               MachineCheckpoint::capture(machine));
+                       t.workload = wl->clone();
+                       t.commitLog = commit_log;
+                       for (const auto &d : drivers)
+                           t.cursors.push_back(d->position());
+                       t.sched = st;
+                       t.storesAt = stores;
+                       chain.entries.push_back(std::move(t));
+                   });
+    chain.traceStores = machine.storesExecuted() - base;
+    return chain;
+}
+
+/**
+ * Run one crash point by restoring the nearest checkpoint strictly
+ * below it and resuming only the tail of the interleaving. Point 0
+ * (post-completion) resumes the last checkpoint and runs the
+ * interleaving out.
+ */
+McCrashPointOutcome
+runPointFromChain(const McCrashSweepConfig &cfg,
+                  const std::vector<std::vector<McOpRecord>> &streams,
+                  const McCheckpointChain &chain,
+                  std::uint64_t crash_point)
+{
+    McCrashPointOutcome out;
+    out.crashPoint = crash_point;
+    const std::string tuple = reproTuple(cfg, crash_point);
+    const McYcsbConfig rc = runConfigFor(cfg);
+
+    try {
+        const McTraceCheckpoint *ckpt = &chain.entries.front();
+        for (const auto &entry : chain.entries) {
+            if (crash_point == 0 || entry.storesAt < crash_point)
+                ckpt = &entry;
+            else
+                break;
         }
 
-        // Hardware replay of every core's log slice, then the
-        // workload's user-level recovery (runs on core 0 — recovery
-        // is single-threaded kernel/runtime work).
-        out.replayedRecords = machine.recover();
-        wl->recover(machine.context(0));
-        checkState(machine.context(0), *wl, shadow, absent, tuple,
-                   "post-recovery", out.violations);
+        SystemConfig sys_cfg = rc.sys;
+        sys_cfg.numCores = rc.numCores;
+        McMachine machine(sys_cfg);
+        if (rc.policy)
+            machine.setAnnotationPolicy(rc.policy);
 
-        if (cfg.checkIdempotence) {
-            const std::size_t again = machine.recover();
-            if (again != 0)
-                out.violations.push_back(
-                    tuple + " idempotence: second hardware recovery "
-                            "replayed " +
-                    std::to_string(again) + " records");
-            wl->recover(machine.context(0));
-            checkState(machine.context(0), *wl, shadow, absent, tuple,
-                       "idempotence", out.violations);
+        // No setup(): the restore rewrites the whole machine (site
+        // registry included) and the cloned workload carries the
+        // roots.
+        auto wl = ckpt->workload->clone();
+        ckpt->machine->restore(machine);
+
+        std::vector<McOpRecord> commit_log = ckpt->commitLog;
+        std::vector<std::unique_ptr<McYcsbDriver>> drivers;
+        std::vector<McCoreDriver *> ptrs;
+        for (std::size_t i = 0; i < rc.numCores; ++i) {
+            drivers.push_back(std::make_unique<McYcsbDriver>(
+                machine.context(i), *wl, streams[i], commit_log));
+            drivers.back()->resumeAt(ckpt->cursors[i]);
+            ptrs.push_back(drivers.back().get());
         }
 
-        // The structure must keep working: fresh even-keyed inserts
-        // (stream keys are odd) spread across the cores.
-        if (cfg.continuationOps > 0) {
-            Rng rng(mix64(rc.seed) ^ (crash_point + 1));
-            for (std::size_t i = 0; i < cfg.continuationOps; ++i) {
-                std::uint64_t key;
-                do {
-                    key = ((rng.next() >> 1) | 2ULL) &
-                          ~static_cast<std::uint64_t>(1);
-                } while (shadow.count(key));
-                const auto value = ycsbValueFor(key, rc.valueBytes);
-                wl->insert(machine.context(i % rc.numCores), key,
-                           value);
-                shadow[key] = value;
-            }
-            checkState(machine.context(0), *wl, shadow, absent, tuple,
-                       "continuation", out.violations);
-        }
-
-        out.stats = machine.snapshot();
+        if (crash_point > 0)
+            machine.armCrashAfterStores(crash_point -
+                                        ckpt->storesAt);
+        const McScheduleResult run =
+            runInterleavedFrom(machine, ptrs, rc.sched, ckpt->sched);
+        machine.armCrashAfterStores(0);
+        finishPoint(cfg, rc, tuple, machine, *wl, streams, commit_log,
+                    run.crashed, out);
     } catch (const std::exception &e) {
         out.violations.push_back(tuple + " exception: " + e.what());
     }
@@ -281,17 +445,28 @@ runMcCrashSweep(const McCrashSweepConfig &cfg)
 {
     McCrashSweepReport report;
     report.config = cfg;
-    report.traceStores = countMcTraceStores(cfg);
 
     const auto streams = mcYcsbStreams(runConfigFor(cfg));
-    const auto points = enumeratePoints(cfg, report.traceStores);
-    report.points.resize(points.size());
-
-    runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
-                    points.size(), [&](std::size_t i) {
-                        report.points[i] = runPointOnStreams(
-                            cfg, streams, points[i]);
-                    });
+    if (cfg.useCheckpoints) {
+        const McCheckpointChain chain = buildMcChain(cfg, streams);
+        report.traceStores = chain.traceStores;
+        const auto points = enumeratePoints(cfg, report.traceStores);
+        report.points.resize(points.size());
+        runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
+                        points.size(), [&](std::size_t i) {
+                            report.points[i] = runPointFromChain(
+                                cfg, streams, chain, points[i]);
+                        });
+    } else {
+        report.traceStores = countMcTraceStores(cfg);
+        const auto points = enumeratePoints(cfg, report.traceStores);
+        report.points.resize(points.size());
+        runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
+                        points.size(), [&](std::size_t i) {
+                            report.points[i] = runPointOnStreams(
+                                cfg, streams, points[i]);
+                        });
+    }
     return report;
 }
 
@@ -346,6 +521,62 @@ McCrashSweepReport::summaryText() const
             " violations=" + std::to_string(violationCount()) + "\n";
     text += violationsText();
     return text;
+}
+
+std::string
+McCrashSweepReport::toJson() const
+{
+    // Sum the per-point stats into one sweep-level view (addition
+    // commutes, so this is worker-count independent).
+    StatsSnapshot aggregate;
+    std::size_t fired = 0;
+    for (const auto &p : points) {
+        fired += p.fired ? 1 : 0;
+        for (const auto &[name, value] : p.stats)
+            aggregate[name] += value;
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("scheme").value(schemeName(config.scheme));
+    w.key("style").value(styleName(config.style));
+    w.key("workload").value(config.run.workload);
+    w.key("cores").value(config.run.numCores);
+    w.key("seed").value(config.run.seed);
+    w.key("tiny_cache").value(config.tinyCache);
+    w.key("trace_stores").value(traceStores);
+    w.key("points_explored").value(pointsExplored());
+    w.key("points_fired").value(fired);
+    w.key("violations").value(violationCount());
+    w.key("replayed_records").value(replayedRecordsTotal());
+    w.key("ckpt_interval").value(config.checkpointInterval);
+
+    w.key("violation_lines").beginArray();
+    for (const auto &p : points) {
+        for (const auto &v : p.violations)
+            w.value(v);
+    }
+    w.endArray();
+
+    w.key("stats").beginObject();
+    for (const auto &[name, value] : aggregate)
+        w.key(name).value(value);
+    w.endObject();
+
+    w.key("points").beginArray();
+    for (const auto &p : points) {
+        w.beginObject();
+        w.key("crash_point").value(p.crashPoint);
+        w.key("fired").value(p.fired);
+        w.key("committed_ops").value(p.committedOps);
+        w.key("replayed_records").value(p.replayedRecords);
+        w.key("violations").value(p.violations.size());
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    return w.str();
 }
 
 } // namespace slpmt

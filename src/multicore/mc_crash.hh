@@ -4,17 +4,23 @@
  * machine).
  *
  * Extends the single-core crash explorer's methodology to the
- * multicore machine: a dry run counts the store/storeT instructions a
- * seeded interleaved YCSB run executes across all cores, the sweep
- * enumerates crash points over that range (stratified when budgeted,
- * plus the post-completion point with lazy data still volatile), and
- * each point re-runs the identical interleaving on a fresh machine,
- * fires the machine-wide power failure at exactly that store, recovers
- * every core's log slice plus the workload's user-level recovery, and
+ * multicore machine: the seeded interleaved YCSB run is executed once
+ * on a master machine that counts its store/storeT instructions and
+ * drops a whole-machine checkpoint (plus driver cursors, the commit
+ * log so far, and the scheduler's register file) at quantum
+ * boundaries every checkpointInterval stores; the sweep enumerates
+ * crash points over the store range (stratified when budgeted, plus
+ * the post-completion point with lazy data still volatile), and each
+ * point restores the nearest checkpoint into a fresh machine, resumes
+ * the identical interleaving for only the tail, fires the
+ * machine-wide power failure at exactly that store, recovers every
+ * core's log slice plus the workload's user-level recovery, and
  * checks the survivors against the scheduler-commit-order shadow map:
  * committed upserts readable with their committed values, interrupted
  * ops invisible, invariants intact, recovery idempotent, and the
- * structure still writable afterwards.
+ * structure still writable afterwards. Restores are bit-exact, so the
+ * report is byte-identical to the from-scratch O(P·T) path, which
+ * survives as the --no-checkpoint audit mode.
  *
  * Points are independent machines, so the sweep reuses the
  * work-stealing pool; violation reports are bit-identical for any
@@ -60,6 +66,13 @@ struct McCrashSweepConfig
     /** Worker threads for the sweep (real threads — each point owns
      *  its machine; the simulated cores stay deterministic). */
     std::size_t workers = 1;
+
+    /** Stores between master-run checkpoints (see file comment);
+     *  part of the repro tuple. */
+    std::size_t checkpointInterval = 64;
+
+    /** Audit mode: false re-runs every point from scratch. */
+    bool useCheckpoints = true;
 };
 
 /** Outcome of one explored multicore crash point. */
@@ -89,6 +102,13 @@ struct McCrashSweepReport
 
     /** Deterministic human-readable summary for the sweep binary. */
     std::string summaryText() const;
+
+    /**
+     * Deterministic machine-readable report (no timing or worker
+     * fields): byte-identical between the checkpointed sweep and the
+     * --no-checkpoint audit sweep.
+     */
+    std::string toJson() const;
 };
 
 /** Run one sweep: dry-run, enumerate, explore (possibly parallel). */

@@ -87,6 +87,13 @@ class McYcsbDriver : public McCoreDriver
         ++cursor;
     }
 
+    /** @name Checkpoint support: a driver's whole state is its cursor
+     *  (the commit log is snapshotted separately by the sweep). */
+    /** @{ */
+    std::size_t position() const { return cursor; }
+    void resumeAt(std::size_t c) { cursor = c; }
+    /** @} */
+
   private:
     PmContext &ctx;
     Workload &wl;

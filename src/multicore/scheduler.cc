@@ -5,10 +5,15 @@
 namespace slpmt
 {
 
+namespace
+{
+
+/** The scheduling loop, parameterised on the starting register file
+ *  so a fresh run and a checkpoint resume share one code path. */
 McScheduleResult
-runInterleaved(McMachine &machine,
-               const std::vector<McCoreDriver *> &drivers,
-               const McSchedConfig &cfg)
+runLoop(McMachine &machine, const std::vector<McCoreDriver *> &drivers,
+        const McSchedConfig &cfg, Rng rng, std::size_t rr,
+        std::size_t quanta, const McQuantumHook &hook)
 {
     panicIfNot(drivers.size() == machine.numCores(),
                "one driver per core required");
@@ -18,9 +23,8 @@ runInterleaved(McMachine &machine,
         drivers[core]->onConflictAbort();
     });
 
-    Rng rng(mix64(cfg.seed ^ 0x9c0'9c09'c09c'09c0ULL));
     McScheduleResult result;
-    std::size_t rr = 0;
+    result.quanta = quanta;
     std::vector<std::size_t> runnable;
 
     auto pick = [&]() -> std::size_t {
@@ -48,6 +52,11 @@ runInterleaved(McMachine &machine,
         return core;
     };
 
+    // The entry boundary is a quantum boundary too (nothing has been
+    // picked yet), so a master run gets a trace-start checkpoint.
+    if (hook)
+        hook(McScheduleState{rng.rawState(), rr, result.quanta});
+
     try {
         for (std::size_t core = pick(); core < drivers.size();
              core = pick()) {
@@ -56,6 +65,12 @@ runInterleaved(McMachine &machine,
                 drivers[core]->step();
             ++result.quanta;
             machine.noteQuantumExpiry(core, cfg.drainOnQuantumExpiry);
+            // Everything the next pick() reads is in {rng, rr,
+            // quanta}; drivers are between transactions. Report the
+            // boundary so sweeps can checkpoint here.
+            if (hook)
+                hook(McScheduleState{rng.rawState(), rr,
+                                     result.quanta});
         }
     } catch (const CrashInjected &) {
         // The firing engine crashed itself; take the whole machine
@@ -66,6 +81,31 @@ runInterleaved(McMachine &machine,
 
     machine.setConflictHandler(nullptr);
     return result;
+}
+
+} // namespace
+
+McScheduleResult
+runInterleaved(McMachine &machine,
+               const std::vector<McCoreDriver *> &drivers,
+               const McSchedConfig &cfg, const McQuantumHook &hook)
+{
+    return runLoop(machine, drivers, cfg,
+                   Rng(mix64(cfg.seed ^ 0x9c0'9c09'c09c'09c0ULL)), 0,
+                   0, hook);
+}
+
+McScheduleResult
+runInterleavedFrom(McMachine &machine,
+                   const std::vector<McCoreDriver *> &drivers,
+                   const McSchedConfig &cfg,
+                   const McScheduleState &resume,
+                   const McQuantumHook &hook)
+{
+    Rng rng;
+    rng.setRawState(resume.rngState);
+    return runLoop(machine, drivers, cfg, std::move(rng), resume.rr,
+                   resume.quanta, hook);
 }
 
 } // namespace slpmt

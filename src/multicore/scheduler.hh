@@ -20,8 +20,10 @@
 #ifndef SLPMT_MULTICORE_SCHEDULER_HH
 #define SLPMT_MULTICORE_SCHEDULER_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "multicore/machine.hh"
@@ -65,13 +67,48 @@ struct McScheduleResult
 };
 
 /**
+ * The scheduler's register file at a quantum boundary. Together with
+ * a machine checkpoint and the drivers' cursors this resumes an
+ * interleaved run bit-exactly: the RNG raw state replays the same
+ * weighted draws, rr the same round-robin order, quanta the same
+ * count bookkeeping.
+ */
+struct McScheduleState
+{
+    std::array<std::uint64_t, 4> rngState{};
+    std::size_t rr = 0;
+    std::size_t quanta = 0;
+};
+
+/**
+ * Called after every scheduling quantum (context-switch drain
+ * included) with the state that resumes the run from this boundary.
+ * Drivers are never mid-transaction here — step() runs whole
+ * transactions — so this is where crash sweeps drop checkpoints.
+ */
+using McQuantumHook = std::function<void(const McScheduleState &)>;
+
+/**
  * Interleave the drivers' op streams over the machine's cores until
  * every driver reports done (or an armed crash fires). drivers[i]
  * runs on core i; there must be one driver per core.
  */
 McScheduleResult runInterleaved(McMachine &machine,
                                 const std::vector<McCoreDriver *> &drivers,
-                                const McSchedConfig &cfg);
+                                const McSchedConfig &cfg,
+                                const McQuantumHook &hook = nullptr);
+
+/**
+ * Resume an interleaved run from a quantum boundary previously
+ * reported to an McQuantumHook. The machine and the drivers must
+ * already be restored to that same boundary; the continuation is
+ * bit-identical to the uninterrupted run.
+ */
+McScheduleResult runInterleavedFrom(McMachine &machine,
+                                    const std::vector<McCoreDriver *> &drivers,
+                                    const McSchedConfig &cfg,
+                                    const McScheduleState &resume,
+                                    const McQuantumHook &hook = nullptr);
 
 } // namespace slpmt
 

@@ -128,4 +128,59 @@ StatsRegistry::toJson() const
     return w.str();
 }
 
+void
+StatsRegistry::saveState(BlobWriter &w) const
+{
+    w.u<std::uint64_t>(entries.size());
+    for (const auto &[name, entry] : entries) {
+        w.str(name);
+        w.u<std::uint8_t>(static_cast<std::uint8_t>(entry.kind));
+        if (entry.kind != Kind::Histogram) {
+            w.u<std::uint64_t>(entry.value);
+            continue;
+        }
+        const HistogramData &h = entry.hist;
+        w.u<std::uint64_t>(h.buckets.size());
+        for (std::uint64_t b : h.buckets)
+            w.u<std::uint64_t>(b);
+        w.u<std::uint64_t>(h.count);
+        w.u<std::uint64_t>(h.sum);
+        w.u<std::uint64_t>(h.min);
+        w.u<std::uint64_t>(h.max);
+    }
+}
+
+void
+StatsRegistry::restoreState(BlobReader &r)
+{
+    const std::size_t n = r.count(1);
+    if (n != entries.size())
+        throw CheckpointError("stat registry shape mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string name = r.str();
+        auto it = entries.find(name);
+        if (it == entries.end())
+            throw CheckpointError("unknown stat '" + name + "'");
+        Entry &entry = it->second;
+        const std::uint8_t kind = r.u<std::uint8_t>();
+        if (kind != static_cast<std::uint8_t>(entry.kind))
+            throw CheckpointError("stat '" + name + "' kind mismatch");
+        if (entry.kind != Kind::Histogram) {
+            entry.value = r.u<std::uint64_t>();
+            continue;
+        }
+        HistogramData &h = entry.hist;
+        const std::size_t buckets = r.count(sizeof(std::uint64_t));
+        if (buckets != h.buckets.size())
+            throw CheckpointError("stat '" + name +
+                                  "' bucket shape mismatch");
+        for (auto &b : h.buckets)
+            b = r.u<std::uint64_t>();
+        h.count = r.u<std::uint64_t>();
+        h.sum = r.u<std::uint64_t>();
+        h.min = r.u<std::uint64_t>();
+        h.max = r.u<std::uint64_t>();
+    }
+}
+
 } // namespace slpmt

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/serde.hh"
 #include "common/logging.hh"
 
 namespace slpmt
@@ -195,6 +196,19 @@ class StatsRegistry
 
     /** dumpJson() into a fresh string. */
     std::string toJson() const;
+
+    /** @name Checkpointing
+     *
+     * Values are saved by name and restored into the already-registered
+     * entries of an identically constructed machine, so outstanding
+     * handles (pointers into the map nodes) stay valid. A name or kind
+     * mismatch means the blob belongs to a different machine
+     * configuration and is rejected.
+     */
+    /** @{ */
+    void saveState(BlobWriter &w) const;
+    void restoreState(BlobReader &r);
+    /** @} */
 
   private:
     enum class Kind : std::uint8_t { Counter, Gauge, Histogram };

@@ -896,4 +896,87 @@ TxnEngine::recover()
     return applied;
 }
 
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+void
+TxnEngine::saveState(BlobWriter &w) const
+{
+    w.u<Cycles>(clock);
+    w.u<std::uint64_t>(crashCountdown);
+    w.u<std::uint64_t>(globalSeq);
+    w.b(inTxn);
+    w.u<std::uint8_t>(curId);
+    w.u<std::uint64_t>(curSeq);
+
+    w.u<std::uint64_t>(idState.size());
+    for (const auto &st : idState) {
+        st.signature.saveState(w);
+        w.u<std::uint64_t>(st.txnSeq);
+        w.b(st.lazyOutstanding);
+    }
+    ids.saveState(w);
+    logBuf.saveState(w);
+    undoLog.saveState(w);
+
+    // Hash containers: serialize in sorted-address order (the
+    // determinism rule) so identical machine states always produce
+    // identical blobs.
+    std::vector<Addr> write_set(redoWriteSet.begin(),
+                                redoWriteSet.end());
+    std::sort(write_set.begin(), write_set.end());
+    w.u<std::uint64_t>(write_set.size());
+    for (Addr a : write_set)
+        w.u<Addr>(a);
+
+    std::vector<Addr> evicted;
+    evicted.reserve(redoEvicted.size());
+    for (const auto &kv : redoEvicted)
+        evicted.push_back(kv.first);
+    std::sort(evicted.begin(), evicted.end());
+    w.u<std::uint64_t>(evicted.size());
+    for (Addr a : evicted) {
+        w.u<Addr>(a);
+        const auto &img = redoEvicted.at(a);
+        w.bytes(img.data(), img.size());
+    }
+}
+
+void
+TxnEngine::restoreState(BlobReader &r)
+{
+    clock = r.u<Cycles>();
+    crashCountdown = r.u<std::uint64_t>();
+    globalSeq = r.u<std::uint64_t>();
+    inTxn = r.b();
+    curId = r.u<std::uint8_t>();
+    curSeq = r.u<std::uint64_t>();
+
+    const std::size_t n_ids = r.count(1);
+    if (n_ids != idState.size())
+        throw CheckpointError("txn ID state count mismatch");
+    for (auto &st : idState) {
+        st.signature.restoreState(r);
+        st.txnSeq = r.u<std::uint64_t>();
+        st.lazyOutstanding = r.b();
+    }
+    ids.restoreState(r);
+    logBuf.restoreState(r);
+    undoLog.restoreState(r);
+
+    redoWriteSet.clear();
+    const std::size_t n_ws = r.count(sizeof(Addr));
+    for (std::size_t i = 0; i < n_ws; ++i)
+        redoWriteSet.insert(r.u<Addr>());
+
+    redoEvicted.clear();
+    const std::size_t n_ev = r.count(sizeof(Addr));
+    for (std::size_t i = 0; i < n_ev; ++i) {
+        const Addr a = r.u<Addr>();
+        auto &img = redoEvicted[a];
+        r.bytes(img.data(), img.size());
+    }
+}
+
 } // namespace slpmt

@@ -247,6 +247,20 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     UndoLogArea &logArea() { return undoLog; }
     LogBuffer &buffer() { return logBuf; }
 
+    /** @name Checkpointing
+     *
+     * Serializes every architectural register of the engine: clock,
+     * txn-control state, per-ID signatures, log buffer tiers, the
+     * undo-log tail, and the redo write/evicted sets. The shared
+     * counter pointers (seqSrc/crashSrc) are wiring, not state — the
+     * owning machine re-establishes them on construction and
+     * serializes the shared counters itself when they are shared.
+     */
+    /** @{ */
+    void saveState(BlobWriter &w) const;
+    void restoreState(BlobReader &r);
+    /** @} */
+
     /** EvictionClient interface. */
     Cycles evictingPrivateLine(CacheLine &line, Cycles when) override;
     std::pair<Cycles, std::uint8_t>

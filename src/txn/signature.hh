@@ -27,6 +27,7 @@
 #include <bitset>
 #include <cstdint>
 
+#include "checkpoint/serde.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -95,6 +96,38 @@ class AddressSignature
 
     bool empty() const { return count == 0; }
     std::uint64_t insertions() const { return count; }
+
+    /** @name Checkpointing (filter exported as 64-bit words) */
+    /** @{ */
+    void
+    saveState(BlobWriter &w) const
+    {
+        static_assert(NumBits % 64 == 0, "signature width");
+        for (std::size_t word = 0; word < NumBits / 64; ++word) {
+            std::uint64_t v = 0;
+            for (std::size_t bit = 0; bit < 64; ++bit) {
+                if (filter.test(word * 64 + bit))
+                    v |= std::uint64_t{1} << bit;
+            }
+            w.u<std::uint64_t>(v);
+        }
+        w.u<std::uint64_t>(count);
+    }
+
+    void
+    restoreState(BlobReader &r)
+    {
+        filter.reset();
+        for (std::size_t word = 0; word < NumBits / 64; ++word) {
+            const std::uint64_t v = r.u<std::uint64_t>();
+            for (std::size_t bit = 0; bit < 64; ++bit) {
+                if (v & (std::uint64_t{1} << bit))
+                    filter.set(word * 64 + bit);
+            }
+        }
+        count = r.u<std::uint64_t>();
+    }
+    /** @} */
 
   private:
     static std::uint32_t

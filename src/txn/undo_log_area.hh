@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "checkpoint/serde.hh"
 #include "stats/stats.hh"
 #include "logbuf/log_record.hh"
 #include "mem/pm_device.hh"
@@ -108,6 +109,23 @@ class UndoLogArea
         for (const auto &rec : scanValid())
             tail += entryBytes(rec.words);
     }
+
+    /** @name Checkpointing (durable contents ride the PM image) */
+    /** @{ */
+    void
+    saveState(BlobWriter &w) const
+    {
+        w.u<Addr>(tail);
+    }
+
+    void
+    restoreState(BlobReader &r)
+    {
+        tail = r.u<Addr>();
+        if (tail < areaBase || tail > areaBase + areaSize)
+            throw CheckpointError("undo log tail out of range");
+    }
+    /** @} */
 
   private:
     static Bytes

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
+#include "checkpoint/checkpoint.hh"
 #include "core/pm_system.hh"
 #include "sim/json.hh"
 #include "validate/work_queue.hh"
@@ -51,7 +53,10 @@ hexKey(std::uint64_t key)
     return buf;
 }
 
-/** The printed handle that reproduces a failure in isolation. */
+/** The printed handle that reproduces a failure in isolation. The
+ *  checkpoint interval is part of the tuple (it selects which sweep
+ *  found the violation) but never changes the outcome — restores are
+ *  bit-exact, so runCrashPoint replays from scratch. */
 std::string
 reproTuple(const CrashSweepConfig &cfg, std::uint64_t crash_point)
 {
@@ -60,6 +65,7 @@ reproTuple(const CrashSweepConfig &cfg, std::uint64_t crash_point)
            " workload=" + cfg.workload +
            " seed=" + std::to_string(cfg.mix.seed) +
            std::string(cfg.tinyCache ? " tiny_cache=1" : "") +
+           " ckpt_interval=" + std::to_string(cfg.checkpointInterval) +
            " crash_point=" + std::to_string(crash_point) + ")";
 }
 
@@ -130,28 +136,32 @@ checkState(PmSystem &sys, Workload &wl, const Shadow &shadow,
     }
 }
 
-/** Run one crash point against a pre-generated trace. */
+/**
+ * Finish one crash point on a machine already advanced to trace op
+ * @p start_op (op 0 with an empty shadow for a from-scratch run, a
+ * restored checkpoint otherwise). @p arm_stores is the store count at
+ * which the crash fires, relative to the machine's current position
+ * (0 = never, i.e. the post-completion point).
+ */
 CrashPointOutcome
-runPointOnTrace(const CrashSweepConfig &cfg,
-                const std::vector<YcsbMixedOp> &trace,
-                std::uint64_t crash_point)
+explorePoint(const CrashSweepConfig &cfg,
+             const std::vector<YcsbMixedOp> &trace,
+             std::uint64_t crash_point, PmSystem &sys, Workload &wl,
+             Shadow shadow, std::size_t start_op,
+             std::uint64_t arm_stores)
 {
     CrashPointOutcome out;
     out.crashPoint = crash_point;
     const std::string tuple = reproTuple(cfg, crash_point);
 
     try {
-        PmSystem sys(systemFor(cfg));
-        auto wl = makeWorkload(cfg.workload);
-        wl->setup(sys);
-
-        Shadow shadow;
-        if (crash_point > 0)
-            sys.armCrashAfterStores(crash_point);
+        out.committedOps = start_op;
+        if (arm_stores > 0)
+            sys.armCrashAfterStores(arm_stores);
         bool crashed = false;
-        for (const auto &op : trace) {
+        for (std::size_t i = start_op; i < trace.size(); ++i) {
             try {
-                applyOp(sys, *wl, op, shadow);
+                applyOp(sys, wl, trace[i], shadow);
             } catch (const CrashInjected &) {
                 crashed = true;
                 break;
@@ -185,8 +195,8 @@ runPointOnTrace(const CrashSweepConfig &cfg,
         if (!cfg.skipHardwareReplay)
             out.replayedRecords = sys.recoverHardware();
         if (!cfg.skipUserRecovery)
-            wl->recover(sys);
-        checkState(sys, *wl, shadow, absent, tuple, "post-recovery",
+            wl.recover(sys);
+        checkState(sys, wl, shadow, absent, tuple, "post-recovery",
                    out.violations);
 
         // Recovery must be idempotent: a second replay finds an empty
@@ -200,8 +210,8 @@ runPointOnTrace(const CrashSweepConfig &cfg,
                             "replayed " +
                     std::to_string(again) + " records");
             if (!cfg.skipUserRecovery)
-                wl->recover(sys);
-            checkState(sys, *wl, shadow, absent, tuple, "idempotence",
+                wl.recover(sys);
+            checkState(sys, wl, shadow, absent, tuple, "idempotence",
                        out.violations);
         }
 
@@ -218,16 +228,141 @@ runPointOnTrace(const CrashSweepConfig &cfg,
                 } while (shadow.count(key));
                 const auto value =
                     ycsbValueFor(key, cfg.mix.valueBytes);
-                wl->insert(sys, key, value);
+                wl.insert(sys, key, value);
                 shadow[key] = value;
             }
-            checkState(sys, *wl, shadow, absent, tuple, "continuation",
+            checkState(sys, wl, shadow, absent, tuple, "continuation",
                        out.violations);
         }
 
         out.stats = sys.stats().snapshot();
     } catch (const std::exception &e) {
         out.violations.push_back(tuple + " exception: " + e.what());
+    }
+    return out;
+}
+
+/** Run one crash point from scratch: fresh machine, full replay. */
+CrashPointOutcome
+runPointOnTrace(const CrashSweepConfig &cfg,
+                const std::vector<YcsbMixedOp> &trace,
+                std::uint64_t crash_point)
+{
+    CrashPointOutcome out;
+    out.crashPoint = crash_point;
+    try {
+        PmSystem sys(systemFor(cfg));
+        auto wl = makeWorkload(cfg.workload);
+        wl->setup(sys);
+        return explorePoint(cfg, trace, crash_point, sys, *wl,
+                            Shadow{}, 0, crash_point);
+    } catch (const std::exception &e) {
+        out.violations.push_back(reproTuple(cfg, crash_point) +
+                                 " exception: " + e.what());
+    }
+    return out;
+}
+
+/**
+ * One node of the master run's checkpoint chain. Immutable after
+ * capture; any number of workers fork from it concurrently (the
+ * machine checkpoint shares pages copy-on-write, the workload is
+ * cloned per fork, the shadow is copied per fork).
+ */
+struct TraceCheckpoint
+{
+    std::shared_ptr<const MachineCheckpoint> machine;
+    std::shared_ptr<const Workload> workload;
+    Shadow shadow;
+    std::size_t nextOp = 0;      //!< first trace op not yet applied
+    std::uint64_t storesAt = 0;  //!< trace stores executed at capture
+};
+
+struct CheckpointChain
+{
+    std::vector<TraceCheckpoint> entries;
+    std::uint64_t traceStores = 0;
+};
+
+/**
+ * The master run: apply the trace once, dropping a checkpoint at
+ * every op boundary that completes another checkpointInterval stores
+ * (plus one at the trace start, so every point has a base). Also
+ * yields the total store count, absorbing the dry run the
+ * from-scratch path needs.
+ */
+CheckpointChain
+buildCheckpointChain(const CrashSweepConfig &cfg,
+                     const std::vector<YcsbMixedOp> &trace)
+{
+    CheckpointChain chain;
+    PmSystem sys(systemFor(cfg));
+    auto wl = makeWorkload(cfg.workload);
+    wl->setup(sys);
+    const std::uint64_t base = sys.engine().storesExecuted();
+
+    Shadow shadow;
+    auto drop = [&](std::size_t next_op) {
+        TraceCheckpoint t;
+        t.machine = std::make_shared<const MachineCheckpoint>(
+            MachineCheckpoint::capture(sys));
+        t.workload = wl->clone();
+        t.shadow = shadow;
+        t.nextOp = next_op;
+        t.storesAt = sys.engine().storesExecuted() - base;
+        chain.entries.push_back(std::move(t));
+    };
+
+    drop(0);
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(cfg.checkpointInterval, 1);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        applyOp(sys, *wl, trace[i], shadow);
+        const std::uint64_t stores =
+            sys.engine().storesExecuted() - base;
+        if (i + 1 < trace.size() &&
+            stores - chain.entries.back().storesAt >= interval)
+            drop(i + 1);
+    }
+    chain.traceStores = sys.engine().storesExecuted() - base;
+    return chain;
+}
+
+/**
+ * Run one crash point by forking the nearest checkpoint strictly
+ * below it and replaying only the tail. Point 0 (post-completion)
+ * forks the last checkpoint and runs the trace out.
+ */
+CrashPointOutcome
+runPointFromChain(const CrashSweepConfig &cfg,
+                  const std::vector<YcsbMixedOp> &trace,
+                  const CheckpointChain &chain,
+                  std::uint64_t crash_point)
+{
+    CrashPointOutcome out;
+    out.crashPoint = crash_point;
+    try {
+        // Entries are in increasing storesAt order; the base for a
+        // firing point must be strictly below it so the armed
+        // countdown sees at least one store.
+        const TraceCheckpoint *ckpt = &chain.entries.front();
+        for (const auto &entry : chain.entries) {
+            if (crash_point == 0 || entry.storesAt < crash_point)
+                ckpt = &entry;
+            else
+                break;
+        }
+
+        PmSystem sys(systemFor(cfg));
+        ckpt->machine->restore(sys);
+        auto wl = ckpt->workload->clone();
+        const std::uint64_t arm =
+            crash_point > 0 ? crash_point - ckpt->storesAt : 0;
+        return explorePoint(cfg, trace, crash_point, sys, *wl,
+                            ckpt->shadow, ckpt->nextOp, arm);
+    } catch (const std::exception &e) {
+        out.violations.push_back(reproTuple(cfg, crash_point) +
+                                 " exception: " + e.what());
     }
     return out;
 }
@@ -298,17 +433,28 @@ runCrashSweep(const CrashSweepConfig &cfg)
 
     const auto trace = ycsbMixedLoad(cfg.mix);
     report.traceOps = trace.size();
-    report.traceStores = countTraceStores(cfg);
-
-    const auto points = enumeratePoints(cfg, report.traceStores);
-    report.points.resize(points.size());
 
     const auto t0 = std::chrono::steady_clock::now();
-    runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
-                    points.size(), [&](std::size_t i) {
-                        report.points[i] =
-                            runPointOnTrace(cfg, trace, points[i]);
-                    });
+    if (cfg.useCheckpoints) {
+        const CheckpointChain chain = buildCheckpointChain(cfg, trace);
+        report.traceStores = chain.traceStores;
+        const auto points = enumeratePoints(cfg, report.traceStores);
+        report.points.resize(points.size());
+        runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
+                        points.size(), [&](std::size_t i) {
+                            report.points[i] = runPointFromChain(
+                                cfg, trace, chain, points[i]);
+                        });
+    } else {
+        report.traceStores = countTraceStores(cfg);
+        const auto points = enumeratePoints(cfg, report.traceStores);
+        report.points.resize(points.size());
+        runWorkStealing(std::max<std::size_t>(cfg.workers, 1),
+                        points.size(), [&](std::size_t i) {
+                            report.points[i] = runPointOnTrace(
+                                cfg, trace, points[i]);
+                        });
+    }
     const auto t1 = std::chrono::steady_clock::now();
     report.wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -372,8 +518,7 @@ CrashSweepReport::toJson() const
     w.key("points_fired").value(fired);
     w.key("violations").value(violationCount());
     w.key("replayed_records").value(replayedRecordsTotal());
-    w.key("workers").value(config.workers);
-    w.key("wall_ms").value(wallMs);
+    w.key("ckpt_interval").value(config.checkpointInterval);
 
     w.key("violation_lines").beginArray();
     for (const auto &p : points) {

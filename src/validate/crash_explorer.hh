@@ -9,11 +9,11 @@
  * seeded workload trace executes, the explorer enumerates crash points
  * over that range (every store for small runs, deterministic
  * stratified sampling for large ones, plus one post-completion point
- * that crashes with lazy data still volatile), and each point re-runs
- * the trace on a fresh simulated machine, injects the power failure at
- * exactly that store, runs hardware recovery (undo/redo replay) plus
- * the workload's user-level recovery, and checks the surviving state
- * against a shadow-map oracle:
+ * that crashes with lazy data still volatile), and each point replays
+ * the trace up to exactly that store, injects the power failure, runs
+ * hardware recovery (undo/redo replay) plus the workload's user-level
+ * recovery, and checks the surviving state against a shadow-map
+ * oracle:
  *
  *  - every committed key is readable with its committed value,
  *  - no aborted or in-flight partial update is visible,
@@ -21,11 +21,22 @@
  *  - recovery is idempotent (running it twice changes nothing),
  *  - the structure keeps working (post-recovery inserts succeed).
  *
+ * Rather than re-running the whole trace for every point (O(P·T)),
+ * the sweep runs the trace once on a master machine, captures a
+ * whole-machine checkpoint every checkpointInterval stores (CoW page
+ * sharing keeps K checkpoints near one heap's cost), and serves each
+ * crash point by restoring the nearest checkpoint below it into a
+ * fresh machine and replaying only the ≤K-store tail — O(T + P·K).
+ * Restores are bit-exact, so reports are byte-identical to the
+ * from-scratch path, which survives as the --no-checkpoint audit
+ * mode.
+ *
  * Points are independent — each owns its own machine — so the sweep
- * runs on a work-stealing worker pool; results land in slots indexed
+ * runs on a work-stealing worker pool; checkpoints are immutable and
+ * forked concurrently by many workers; results land in slots indexed
  * by point, making the violation report bit-identical for any worker
  * count. Every violation prints the (scheme, style, workload, seed,
- * crash_point) tuple that reproduces it in isolation.
+ * ckpt_interval, crash_point) tuple that reproduces it in isolation.
  */
 
 #ifndef SLPMT_VALIDATE_CRASH_EXPLORER_HH
@@ -72,6 +83,25 @@ struct CrashSweepConfig
 
     /** Worker threads for the sweep (1 = serial). */
     std::size_t workers = 1;
+
+    /**
+     * Stores between machine checkpoints on the master run. The sweep
+     * applies the trace once, drops a checkpoint every this many
+     * stores, and serves each crash point by restoring the nearest
+     * checkpoint below it and replaying only the tail — O(T + P·K)
+     * total work instead of O(P·T). Restores are bit-exact, so the
+     * report is byte-identical to a from-scratch sweep; the interval
+     * is part of the repro tuple so a printed violation reproduces
+     * the exact sweep that found it.
+     */
+    std::size_t checkpointInterval = 64;
+
+    /**
+     * Audit mode: false re-runs every point from scratch (the
+     * original O(P·T) path), used to cross-check that checkpointed
+     * sweeps produce byte-identical reports.
+     */
+    bool useCheckpoints = true;
 
     /**
      * Shrink the caches far below the working set so dirty
@@ -128,7 +158,8 @@ struct CrashSweepReport
     /** Per-point outcomes, ordered by crash point (deterministic). */
     std::vector<CrashPointOutcome> points;
 
-    /** Wall-clock milliseconds of the (possibly parallel) sweep. */
+    /** Wall-clock milliseconds of the (possibly parallel) sweep.
+     *  Kept out of toJson() so reports diff cleanly across modes. */
     double wallMs = 0.0;
 
     std::size_t pointsExplored() const { return points.size(); }
@@ -142,7 +173,11 @@ struct CrashSweepReport
      */
     std::string violationsText() const;
 
-    /** Full machine-readable report (includes timing and settings). */
+    /**
+     * Full machine-readable report. Deterministic: no timing or
+     * worker-count fields, so the checkpointed sweep and the
+     * --no-checkpoint audit sweep produce byte-identical documents.
+     */
     std::string toJson() const;
 };
 

@@ -29,6 +29,12 @@ class AvlTreeWorkload : public Workload
     static constexpr std::size_t headerRootSlot = 4;
 
     std::string name() const override { return "avl"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<AvlTreeWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

@@ -49,6 +49,12 @@ class HashTableWorkload : public Workload
     static constexpr std::uint64_t initialBuckets = 16;
 
     std::string name() const override { return "hashtable"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<HashTableWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

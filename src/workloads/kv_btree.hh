@@ -28,6 +28,12 @@ class KvBtreeWorkload : public Workload
     static constexpr std::uint64_t maxKeys = 7;
 
     std::string name() const override { return "kv-btree"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<KvBtreeWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

@@ -26,6 +26,12 @@ class KvCtreeWorkload : public Workload
     static constexpr std::size_t headerRootSlot = 6;
 
     std::string name() const override { return "kv-ctree"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<KvCtreeWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

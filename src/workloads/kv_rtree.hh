@@ -33,6 +33,12 @@ class KvRtreeWorkload : public Workload
     static constexpr std::uint64_t fanout = 16;
 
     std::string name() const override { return "kv-rtree"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<KvRtreeWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

@@ -36,6 +36,12 @@ class MaxHeapWorkload : public Workload
     static constexpr std::uint64_t initialCapacity = 64;
 
     std::string name() const override { return "heap"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<MaxHeapWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

@@ -37,6 +37,12 @@ class RbTreeWorkload : public Workload
     static constexpr std::size_t headerRootSlot = 2;
 
     std::string name() const override { return "rbtree"; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<RbTreeWorkload>(*this);
+    }
     void setup(PmContext &sys) override;
     void insert(PmContext &sys, std::uint64_t key,
                 const std::vector<std::uint8_t> &value) override;

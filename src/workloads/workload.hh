@@ -18,6 +18,7 @@
 #define SLPMT_WORKLOADS_WORKLOAD_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,14 @@ class Workload
 
     /** Workload name as used in the paper's figures. */
     virtual std::string name() const = 0;
+
+    /**
+     * Copy of this workload's host-side state (roots, site IDs,
+     * cursors — the durable structure itself lives in the simulated
+     * machine). Checkpointed crash sweeps pair a machine restore with
+     * a workload clone taken at the same instant.
+     */
+    virtual std::unique_ptr<Workload> clone() const = 0;
 
     /**
      * Create the empty durable structure (registers store sites,

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Machine checkpoint/restore correctness.
+ *
+ * The contract under test is bit-exactness: restoring a checkpoint
+ * into a freshly constructed machine and continuing the run must be
+ * indistinguishable — byte-identical PM and DRAM images, identical
+ * stats registries — from the run that never checkpointed. The fuzz
+ * crosses all seven schemes with both logging styles on the
+ * single-core machine, and 1/2/4-core interleaved runs on the
+ * multicore machine (checkpointed at a scheduler quantum boundary and
+ * resumed through runInterleavedFrom). The portable encoding must
+ * round-trip through bytes and through a file, and reject corruption,
+ * truncation, version skew, and configuration mismatches.
+ *
+ * The CheckpointAudit suite is the cross-mode oracle the
+ * checkpoint-audit ctest preset runs: a checkpointed sweep's JSON
+ * report must be byte-identical to the --no-checkpoint audit sweep's,
+ * single- and multi-core, at any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "checkpoint/checkpoint.hh"
+#include "core/pm_system.hh"
+#include "multicore/machine.hh"
+#include "multicore/mc_crash.hh"
+#include "multicore/mc_ycsb.hh"
+#include "multicore/scheduler.hh"
+#include "validate/crash_explorer.hh"
+#include "workloads/factory.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+SystemConfig
+tinySystem(SchemeKind scheme, LoggingStyle style)
+{
+    SystemConfig sc;
+    sc.scheme = SchemeConfig::forKind(scheme);
+    sc.style = style;
+    sc.hierarchy.l1 = CacheConfig{"L1", 1024, 2, 4};
+    sc.hierarchy.l2 = CacheConfig{"L2", 2048, 2, 12};
+    sc.hierarchy.l3 = CacheConfig{"L3", 4096, 4, 40};
+    return sc;
+}
+
+void
+applyOp(PmContext &ctx, Workload &wl, const YcsbMixedOp &op)
+{
+    switch (op.kind) {
+      case YcsbOpKind::Insert:
+        wl.insert(ctx, op.key, op.value);
+        break;
+      case YcsbOpKind::Update:
+        wl.update(ctx, op.key, op.value);
+        break;
+      case YcsbOpKind::Remove:
+        wl.remove(ctx, op.key);
+        break;
+    }
+}
+
+using Image = std::vector<std::pair<Addr, PagedMemory::Page>>;
+
+Image
+imageOf(const PagedMemory &mem)
+{
+    Image img;
+    mem.forEachPageSorted([&](Addr num, const PagedMemory::Page &p) {
+        img.emplace_back(num, p);
+    });
+    return img;
+}
+
+/** All scheme kinds, paired with the workload exercising them (one
+ *  run per scheme also covers every workload's clone()). */
+const std::pair<SchemeKind, const char *> schemeWorkloads[] = {
+    {SchemeKind::FG, "hashtable"},  {SchemeKind::FG_LG, "avl"},
+    {SchemeKind::FG_LZ, "rbtree"},  {SchemeKind::SLPMT, "kv-btree"},
+    {SchemeKind::SLPMT_CL, "kv-ctree"}, {SchemeKind::ATOM, "kv-rtree"},
+    {SchemeKind::EDE, "heap"},
+};
+
+/**
+ * One single-core fuzz round: run a mixed trace, checkpointing at
+ * one third and two thirds; continue to the end for the reference
+ * state; then restore each checkpoint into a fresh machine, replay
+ * its tail, and demand identical final images and stats.
+ */
+void
+fuzzSingleCore(SchemeKind scheme, const std::string &workload,
+               LoggingStyle style, std::uint64_t seed)
+{
+    YcsbMixConfig mix;
+    mix.numOps = 18;
+    mix.valueBytes = 48;
+    mix.seed = seed;
+    mix.insertPct = 70;
+    mix.updatePct = 20;
+    mix.removePct = 10;
+    const auto trace = ycsbMixedLoad(mix);
+
+    const SystemConfig sc = tinySystem(scheme, style);
+    PmSystem master(sc);
+    auto wl = makeWorkload(workload);
+    wl->setup(master);
+
+    struct Mark
+    {
+        MachineCheckpoint ckpt;
+        std::unique_ptr<Workload> wl;
+        std::size_t nextOp;
+    };
+    std::vector<Mark> marks;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i == trace.size() / 3 || i == 2 * trace.size() / 3)
+            marks.push_back(Mark{MachineCheckpoint::capture(master),
+                                 wl->clone(), i});
+        applyOp(master, *wl, trace[i]);
+    }
+
+    const Image ref_pm = imageOf(master.pm().memory());
+    const Image ref_dram = imageOf(master.dram().memory());
+    const StatsSnapshot ref_stats = master.stats().snapshot();
+    ASSERT_FALSE(ref_pm.empty());
+
+    for (const Mark &mark : marks) {
+        PmSystem forked(sc);
+        mark.ckpt.restore(forked);
+        auto fwl = mark.wl->clone();
+        for (std::size_t i = mark.nextOp; i < trace.size(); ++i)
+            applyOp(forked, *fwl, trace[i]);
+
+        EXPECT_TRUE(imageOf(forked.pm().memory()) == ref_pm)
+            << "PM image diverged after restore at op " << mark.nextOp;
+        EXPECT_TRUE(imageOf(forked.dram().memory()) == ref_dram)
+            << "DRAM image diverged after restore at op "
+            << mark.nextOp;
+        EXPECT_EQ(forked.stats().snapshot(), ref_stats);
+    }
+}
+
+/**
+ * One multicore fuzz round: interleave per-core YCSB streams,
+ * checkpointing (machine + cursors + commit log + scheduler
+ * registers) at a quantum boundary; run the master out for the
+ * reference; then restore, resume with runInterleavedFrom, and
+ * demand identical final images and merged stats.
+ */
+void
+fuzzMultiCore(SchemeKind scheme, LoggingStyle style,
+              std::size_t cores, std::uint64_t seed)
+{
+    McYcsbConfig rc;
+    rc.workload = "hashtable";
+    rc.numCores = cores;
+    rc.opsPerCore = 10;
+    rc.valueBytes = 32;
+    rc.seed = seed;
+    rc.sharedPct = 25;
+    rc.sys = tinySystem(scheme, style);
+
+    SystemConfig sys_cfg = rc.sys;
+    sys_cfg.numCores = cores;
+    const auto streams = mcYcsbStreams(rc);
+
+    McMachine master(sys_cfg);
+    auto wl = makeWorkload(rc.workload);
+    wl->setup(master.context(0));
+
+    std::vector<McOpRecord> commit_log;
+    std::vector<std::unique_ptr<McYcsbDriver>> drivers;
+    std::vector<McCoreDriver *> ptrs;
+    for (std::size_t i = 0; i < cores; ++i) {
+        drivers.push_back(std::make_unique<McYcsbDriver>(
+            master.context(i), *wl, streams[i], commit_log));
+        ptrs.push_back(drivers.back().get());
+    }
+
+    struct Mark
+    {
+        MachineCheckpoint ckpt;
+        std::unique_ptr<Workload> wl;
+        std::vector<std::size_t> cursors;
+        std::size_t logSize = 0;
+        McScheduleState sched;
+    };
+    std::vector<Mark> marks;
+
+    runInterleaved(master, ptrs, rc.sched,
+                   [&](const McScheduleState &st) {
+                       if (st.quanta != 2)
+                           return;
+                       Mark m{MachineCheckpoint::capture(master),
+                              wl->clone(),
+                              {},
+                              commit_log.size(),
+                              st};
+                       for (const auto &d : drivers)
+                           m.cursors.push_back(d->position());
+                       marks.push_back(std::move(m));
+                   });
+    ASSERT_EQ(marks.size(), 1u) << "run too short to hit quantum 2";
+
+    const Image ref_pm = imageOf(master.pm().memory());
+    const StatsSnapshot ref_stats = master.snapshot();
+    const std::size_t ref_log = commit_log.size();
+
+    const Mark &mark = marks.front();
+    McMachine forked(sys_cfg);
+    auto fwl = mark.wl->clone();
+    mark.ckpt.restore(forked);
+
+    std::vector<McOpRecord> flog(commit_log.begin(),
+                                 commit_log.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         mark.logSize));
+    std::vector<std::unique_ptr<McYcsbDriver>> fdrivers;
+    std::vector<McCoreDriver *> fptrs;
+    for (std::size_t i = 0; i < cores; ++i) {
+        fdrivers.push_back(std::make_unique<McYcsbDriver>(
+            forked.context(i), *fwl, streams[i], flog));
+        fdrivers.back()->resumeAt(mark.cursors[i]);
+        fptrs.push_back(fdrivers.back().get());
+    }
+    runInterleavedFrom(forked, fptrs, rc.sched, mark.sched);
+
+    EXPECT_EQ(flog.size(), ref_log);
+    EXPECT_TRUE(imageOf(forked.pm().memory()) == ref_pm)
+        << "PM image diverged after multicore resume";
+    EXPECT_EQ(forked.snapshot(), ref_stats);
+}
+
+TEST(CheckpointFuzz, AllSchemesUndoRestoreBitExact)
+{
+    for (const auto &[scheme, workload] : schemeWorkloads)
+        fuzzSingleCore(scheme, workload, LoggingStyle::Undo,
+                       1000 + static_cast<std::uint64_t>(scheme));
+}
+
+TEST(CheckpointFuzz, AllSchemesRedoRestoreBitExact)
+{
+    for (const auto &[scheme, workload] : schemeWorkloads)
+        fuzzSingleCore(scheme, workload, LoggingStyle::Redo,
+                       2000 + static_cast<std::uint64_t>(scheme));
+}
+
+TEST(CheckpointFuzz, MultiCoreResumeBitExact)
+{
+    for (const std::size_t cores : {1u, 2u, 4u}) {
+        fuzzMultiCore(SchemeKind::SLPMT, LoggingStyle::Undo, cores,
+                      3000 + cores);
+        fuzzMultiCore(SchemeKind::FG, LoggingStyle::Redo, cores,
+                      4000 + cores);
+    }
+}
+
+/** A small machine with known content, for the encoding tests. */
+MachineCheckpoint
+sampleCheckpoint(PmSystem &sys)
+{
+    auto wl = makeWorkload("hashtable");
+    wl->setup(sys);
+    for (std::uint64_t k = 1; k <= 9; ++k)
+        wl->insert(sys, 2 * k + 1, std::vector<std::uint8_t>(40, 7));
+    return MachineCheckpoint::capture(sys);
+}
+
+TEST(CheckpointEncoding, ByteRoundTripRestoresIdentically)
+{
+    const SystemConfig sc =
+        tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo);
+    PmSystem sys(sc);
+    const MachineCheckpoint ckpt = sampleCheckpoint(sys);
+
+    const auto bytes = ckpt.toBytes();
+    const MachineCheckpoint back = MachineCheckpoint::fromBytes(bytes);
+    EXPECT_EQ(back.configFingerprint(), ckpt.configFingerprint());
+    EXPECT_EQ(back.pagesHeld(), ckpt.pagesHeld());
+
+    PmSystem a(sc), b(sc);
+    ckpt.restore(a);
+    back.restore(b);
+    EXPECT_TRUE(imageOf(a.pm().memory()) == imageOf(b.pm().memory()));
+    EXPECT_TRUE(imageOf(a.dram().memory()) ==
+                imageOf(b.dram().memory()));
+    EXPECT_EQ(a.stats().snapshot(), b.stats().snapshot());
+}
+
+TEST(CheckpointEncoding, FileRoundTrip)
+{
+    const SystemConfig sc =
+        tinySystem(SchemeKind::SLPMT_CL, LoggingStyle::Redo);
+    PmSystem sys(sc);
+    const MachineCheckpoint ckpt = sampleCheckpoint(sys);
+    const auto bytes = ckpt.toBytes();
+
+    const char *path = "checkpoint_roundtrip.ckpt.tmp";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    std::vector<std::uint8_t> read_back;
+    {
+        std::ifstream in(path, std::ios::binary);
+        read_back.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    }
+    std::remove(path);
+    ASSERT_EQ(read_back, bytes);
+
+    PmSystem restored(sc);
+    MachineCheckpoint::fromBytes(read_back).restore(restored);
+    EXPECT_EQ(restored.stats().snapshot(), sys.stats().snapshot());
+}
+
+TEST(CheckpointEncoding, CorruptedBlobRejected)
+{
+    PmSystem sys(tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo));
+    auto bytes = sampleCheckpoint(sys).toBytes();
+    bytes[bytes.size() / 2] ^= 0x5a;
+    EXPECT_THROW(MachineCheckpoint::fromBytes(bytes), CheckpointError);
+}
+
+TEST(CheckpointEncoding, TruncatedBlobRejected)
+{
+    PmSystem sys(tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo));
+    auto bytes = sampleCheckpoint(sys).toBytes();
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                   bytes.size() / 2,
+                                   bytes.size() - 5}) {
+        std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              keep));
+        EXPECT_THROW(MachineCheckpoint::fromBytes(cut),
+                     CheckpointError);
+    }
+}
+
+TEST(CheckpointEncoding, VersionMismatchRejected)
+{
+    PmSystem sys(tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo));
+    auto bytes = sampleCheckpoint(sys).toBytes();
+    // Bump the format version field (bytes 4..7 after the magic) and
+    // re-seal the CRC so only the version check can object.
+    bytes[4] += 1;
+    const std::size_t body = bytes.size() - 4;
+    const std::uint32_t crc = crc32c(bytes.data(), body);
+    for (std::size_t i = 0; i < 4; ++i)
+        bytes[body + i] =
+            static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff);
+    EXPECT_THROW(MachineCheckpoint::fromBytes(bytes), CheckpointError);
+}
+
+TEST(CheckpointEncoding, ConfigFingerprintMismatchRejected)
+{
+    PmSystem sys(tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo));
+    const MachineCheckpoint ckpt = sampleCheckpoint(sys);
+
+    PmSystem other_scheme(
+        tinySystem(SchemeKind::FG, LoggingStyle::Undo));
+    EXPECT_THROW(ckpt.restore(other_scheme), CheckpointError);
+
+    PmSystem other_style(
+        tinySystem(SchemeKind::SLPMT, LoggingStyle::Redo));
+    EXPECT_THROW(ckpt.restore(other_style), CheckpointError);
+}
+
+TEST(CheckpointEncoding, MachineKindMismatchRejected)
+{
+    // A 1-core McMachine has the same configuration fingerprint as a
+    // PmSystem, so only the machine-kind tag can tell them apart.
+    PmSystem sys(tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo));
+    const MachineCheckpoint ckpt = sampleCheckpoint(sys);
+
+    SystemConfig mc_cfg =
+        tinySystem(SchemeKind::SLPMT, LoggingStyle::Undo);
+    mc_cfg.numCores = 1;
+    McMachine machine(mc_cfg);
+    EXPECT_THROW(ckpt.restore(machine), CheckpointError);
+}
+
+/** Shared sampled sweep configuration for the audit tests. */
+CrashSweepConfig
+auditSweepConfig()
+{
+    CrashSweepConfig cfg;
+    cfg.scheme = SchemeKind::SLPMT;
+    cfg.style = LoggingStyle::Undo;
+    cfg.workload = "hashtable";
+    cfg.tinyCache = true;
+    cfg.mix.numOps = 10;
+    cfg.mix.valueBytes = 48;
+    cfg.mix.insertPct = 70;
+    cfg.mix.updatePct = 20;
+    cfg.mix.removePct = 10;
+    cfg.maxPoints = 10;
+    cfg.checkpointInterval = 24;
+    return cfg;
+}
+
+TEST(CheckpointAudit, SingleCoreReportMatchesNoCheckpointMode)
+{
+    CrashSweepConfig cfg = auditSweepConfig();
+    cfg.useCheckpoints = true;
+    cfg.workers = 3;
+    const std::string checkpointed = runCrashSweep(cfg).toJson();
+
+    cfg.useCheckpoints = false;
+    cfg.workers = 1;
+    const std::string audit = runCrashSweep(cfg).toJson();
+    EXPECT_EQ(checkpointed, audit);
+}
+
+TEST(CheckpointAudit, SingleCoreRedoReportMatchesNoCheckpointMode)
+{
+    CrashSweepConfig cfg = auditSweepConfig();
+    cfg.style = LoggingStyle::Redo;
+    cfg.scheme = SchemeKind::FG_LZ;
+    cfg.workload = "kv-ctree";
+    cfg.useCheckpoints = true;
+    cfg.workers = 2;
+    const std::string checkpointed = runCrashSweep(cfg).toJson();
+
+    cfg.useCheckpoints = false;
+    cfg.workers = 4;
+    const std::string audit = runCrashSweep(cfg).toJson();
+    EXPECT_EQ(checkpointed, audit);
+}
+
+TEST(CheckpointAudit, MultiCoreReportMatchesNoCheckpointMode)
+{
+    McCrashSweepConfig cfg;
+    cfg.scheme = SchemeKind::SLPMT;
+    cfg.style = LoggingStyle::Undo;
+    cfg.tinyCache = true;
+    cfg.run.workload = "hashtable";
+    cfg.run.numCores = 2;
+    cfg.run.opsPerCore = 6;
+    cfg.run.valueBytes = 32;
+    cfg.maxPoints = 8;
+    cfg.checkpointInterval = 24;
+    cfg.useCheckpoints = true;
+    cfg.workers = 3;
+    const std::string checkpointed = runMcCrashSweep(cfg).toJson();
+
+    cfg.useCheckpoints = false;
+    cfg.workers = 1;
+    const std::string audit = runMcCrashSweep(cfg).toJson();
+    EXPECT_EQ(checkpointed, audit);
+}
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
