@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Sharded KV service scaling wrapper: the sweep and tables live in
+ * the figure registry (src/sim/figures.cc); this binary selects
+ * "service".
+ */
+
+#include "sim/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return slpmt::runFigureMain("service", argc, argv);
+}

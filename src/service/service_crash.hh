@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Service-level crash-point sweep: power-fail the sharded KV service
+ * mid-load and validate every shard's recovery.
+ *
+ * Extends the checkpoint-and-fork methodology of the multicore sweep
+ * (multicore/mc_crash.hh) to the service layer. The generated request
+ * stream is lowered to its arrival-ordered (shard, op) dispatch list;
+ * a master run executes it once across the shard machines, counting
+ * store/storeT instructions in one *global* ordinal space (the sum
+ * over shards) and dropping a whole-service checkpoint — one
+ * MachineCheckpoint plus one workload clone per shard — every
+ * checkpointInterval stores at request boundaries. The sweep
+ * enumerates crash points over the global store range (stratified
+ * when budgeted, plus the post-completion point with lazy data still
+ * volatile); each point restores the nearest checkpoint, replays the
+ * dispatch tail, arms the store-level crash on the shard executing
+ * the interrupted request, and power-fails the *whole service* —
+ * every shard machine — at exactly that store.
+ *
+ * Recovery then runs per shard (hardware log replay + the workload's
+ * user-level recovery) and is validated against the last-write-wins
+ * oracle of the completed request prefix: completed mutations
+ * readable with their final values, the interrupted request atomic
+ * (its key holds entirely the old or entirely the new value), keys
+ * only written by future requests absent, structure invariants
+ * intact on every shard, recovery idempotent, and every shard still
+ * writable afterwards. Restores are bit-exact, so the report is
+ * byte-identical to the from-scratch audit path (useCheckpoints =
+ * false) and across sweep worker counts.
+ */
+
+#ifndef SLPMT_SERVICE_SERVICE_CRASH_HH
+#define SLPMT_SERVICE_SERVICE_CRASH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/service.hh"
+
+namespace slpmt
+{
+
+/** Everything configurable about one service sweep. */
+struct ServiceCrashConfig
+{
+    SchemeKind scheme = SchemeKind::SLPMT;
+    LoggingStyle style = LoggingStyle::Undo;
+
+    std::string workload = "hashtable";
+    std::size_t numShards = 2;
+    LoadGenConfig load;
+    std::uint64_t routerSalt = ShardRouter::defaultSalt;
+
+    /** Crash-point budget; 0 explores every store. */
+    std::size_t maxPoints = 0;
+
+    /** Shrink every cache level so mid-transaction evictions push
+     *  data (and persisted log records) to PM before the crash. */
+    bool tinyCache = false;
+
+    /** Also crash once after the full run (lazy data still cached). */
+    bool crashAfterCompletion = true;
+
+    bool checkIdempotence = true;
+    std::size_t continuationOps = 2;
+
+    /** Worker threads for the sweep (each point owns its machines). */
+    std::size_t workers = 1;
+
+    /** Global stores between master-run checkpoints. */
+    std::size_t checkpointInterval = 256;
+
+    /** Audit mode: false re-runs every point from scratch. */
+    bool useCheckpoints = true;
+};
+
+/** Outcome of one explored service crash point. */
+struct ServiceCrashPointOutcome
+{
+    std::uint64_t crashPoint = 0;   //!< 0 = post-completion point
+    bool fired = false;
+    std::size_t crashShard = 0;     //!< shard executing the store
+    std::size_t completedOps = 0;   //!< dispatch ops fully completed
+    std::size_t replayedRecords = 0;  //!< summed across shards
+    std::vector<std::string> violations;
+};
+
+/** Aggregated result of a service sweep. */
+struct ServiceCrashSweepReport
+{
+    ServiceCrashConfig config;
+    std::uint64_t traceStores = 0;   //!< global (summed) store count
+    std::size_t dispatchOps = 0;     //!< lowered dispatch-list length
+    std::vector<ServiceCrashPointOutcome> points;
+
+    std::size_t pointsExplored() const { return points.size(); }
+    std::size_t violationCount() const;
+    std::uint64_t replayedRecordsTotal() const;
+
+    /** Deterministic violation listing (one repro line each). */
+    std::string violationsText() const;
+
+    /** Deterministic human-readable summary. */
+    std::string summaryText() const;
+};
+
+/** Run one sweep: master run, enumerate, explore (possibly parallel). */
+ServiceCrashSweepReport runServiceCrashSweep(const ServiceCrashConfig &cfg);
+
+/** Re-run a single point in isolation (the repro handle). */
+ServiceCrashPointOutcome runServiceCrashPoint(const ServiceCrashConfig &cfg,
+                                              std::uint64_t crash_point);
+
+} // namespace slpmt
+
+#endif // SLPMT_SERVICE_SERVICE_CRASH_HH

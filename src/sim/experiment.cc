@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "multicore/mc_ycsb.hh"
+#include "service/service.hh"
 
 namespace slpmt
 {
@@ -9,6 +10,11 @@ ExperimentResult
 runExperiment(const std::string &workload_name,
               const ExperimentConfig &cfg)
 {
+    // Service cells route the generated request stream over shard
+    // machines (src/service/).
+    if (cfg.service.shards > 0)
+        return runServiceExperiment(workload_name, cfg);
+
     // Multicore cells run through the interleaved machine; mcDriver
     // forces that path even for one core so scaling baselines share
     // the scheduler and workload layer of the scaled cells.

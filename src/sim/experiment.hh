@@ -67,6 +67,44 @@ struct ExperimentConfig
     /** Scheduler quantum (micro-ops per core per turn). */
     std::size_t mcQuantumOps = 4;
     /** @} */
+
+    /** @name Sharded service cells (src/service/) */
+    /** @{ */
+    /**
+     * Knobs of the sharded KV service harness. shards > 0 turns the
+     * cell into a service run: numOps requests from the seeded YCSB
+     * load generator routed over that many McMachine shards (each
+     * with numCores cores), instead of the single-structure drivers.
+     * ycsb.numOps/valueBytes/seed double as the request count, the
+     * value-size maximum and the generator seed.
+     */
+    struct ServiceParams
+    {
+        std::size_t shards = 0;  //!< 0 = not a service cell
+
+        /** YCSB core mix index: 0..5 = A..F. */
+        unsigned mix = 0;
+
+        /** Zipfian request skew (uniform otherwise). */
+        bool zipfian = false;
+
+        /** Zipfian theta in basis points (9900 = 0.99). */
+        unsigned zipfThetaBp = 9900;
+
+        /** Distinct-key universe inserts draw from. */
+        std::size_t keySpace = std::size_t{1} << 20;
+
+        /** Records inserted before the measured request stream. */
+        std::size_t preloadRecords = 2000;
+
+        /** Smallest value payload; 0 = fixed at ycsb.valueBytes. */
+        std::size_t valueBytesMin = 0;
+
+        /** Requests between hot-set rotations; 0 = no churn. */
+        std::size_t churnInterval = 0;
+    };
+    ServiceParams service;
+    /** @} */
 };
 
 /** Metrics of the measured insert phase plus verification outcome. */

@@ -12,6 +12,7 @@
 #include "core/pm_system.hh"
 #include "sim/report.hh"
 #include "workloads/factory.hh"
+#include "workloads/loadgen.hh"
 
 namespace slpmt
 {
@@ -616,6 +617,131 @@ mcscalePrint(const MatrixResult &res)
     coh.print();
 }
 
+// -------------------------------------------------------------------
+// Service: sharded KV service scaling under YCSB request mixes
+// -------------------------------------------------------------------
+
+const std::vector<SchemeKind> serviceSchemes = {SchemeKind::FG,
+                                                SchemeKind::SLPMT};
+const std::vector<std::size_t> serviceShards = {1, 2, 4};
+const std::vector<unsigned> serviceMixes = {0, 1, 2};  // YCSB A, B, C
+
+std::string
+serviceSuffix(std::size_t shards, bool zipf, unsigned mix)
+{
+    return "s" + std::to_string(shards) + "/" +
+           (zipf ? "zipf" : "uni") + "/" +
+           ycsbMixName(static_cast<YcsbMix>(mix));
+}
+
+std::vector<ExperimentCase>
+serviceCases()
+{
+    std::vector<ExperimentCase> cases;
+    for (SchemeKind s : serviceSchemes) {
+        for (std::size_t shards : serviceShards) {
+            for (bool zipf : {false, true}) {
+                for (unsigned mix : serviceMixes) {
+                    ExperimentCase c;
+                    c.workload = "hashtable";
+                    c.key = caseKey(c.workload, s,
+                                    serviceSuffix(shards, zipf, mix));
+                    c.cfg.scheme = s;
+                    c.cfg.ycsb.numOps = 2000;
+                    c.cfg.ycsb.valueBytes = 256;
+                    c.cfg.service.shards = shards;
+                    c.cfg.service.mix = mix;
+                    c.cfg.service.zipfian = zipf;
+                    c.cfg.service.zipfThetaBp = 9900;
+                    c.cfg.service.keySpace = std::size_t{1} << 20;
+                    c.cfg.service.preloadRecords = 2000;
+                    c.cfg.service.valueBytesMin = 64;
+                    c.cfg.service.churnInterval = 500;
+                    cases.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+void
+servicePrint(const MatrixResult &res)
+{
+    auto stat = [](const ExperimentResult &cell, const char *name) {
+        auto it = cell.stats.find(name);
+        return it == cell.stats.end() ? std::uint64_t{0} : it->second;
+    };
+
+    for (unsigned mix : serviceMixes) {
+        TableReport table(
+            "Service scaling (YCSB-" +
+            std::string(ycsbMixName(static_cast<YcsbMix>(mix))) +
+            ", 2000 requests over 1M keys): throughput "
+            "(requests/Gcycle) and request latency (cycles)");
+        table.header({"scheme", "shards", "uni thr", "uni p50",
+                      "uni p99", "uni p999", "zipf thr", "zipf p50",
+                      "zipf p99", "zipf p999"});
+        for (SchemeKind s : serviceSchemes) {
+            for (std::size_t shards : serviceShards) {
+                const auto &uni = res.get(caseKey(
+                    "hashtable", s, serviceSuffix(shards, false, mix)));
+                const auto &zipf = res.get(caseKey(
+                    "hashtable", s, serviceSuffix(shards, true, mix)));
+                table.row(
+                    {schemeName(s), std::to_string(shards),
+                     TableReport::integer(
+                         stat(uni, "service.opsPerGcycle")),
+                     TableReport::integer(
+                         stat(uni, "service.latency.p50")),
+                     TableReport::integer(
+                         stat(uni, "service.latency.p99")),
+                     TableReport::integer(
+                         stat(uni, "service.latency.p999")),
+                     TableReport::integer(
+                         stat(zipf, "service.opsPerGcycle")),
+                     TableReport::integer(
+                         stat(zipf, "service.latency.p50")),
+                     TableReport::integer(
+                         stat(zipf, "service.latency.p99")),
+                     TableReport::integer(
+                         stat(zipf, "service.latency.p999"))});
+            }
+        }
+        table.print();
+    }
+
+    // Commit latency on the mutation-heavy mix: the tail the paper's
+    // logging schemes move.
+    TableReport commit(
+        "Service commit latency (YCSB-A mutations, cycles)");
+    commit.header({"scheme", "shards", "uni p50", "uni p99",
+                   "uni p999", "zipf p50", "zipf p99", "zipf p999"});
+    for (SchemeKind s : serviceSchemes) {
+        for (std::size_t shards : serviceShards) {
+            const auto &uni = res.get(
+                caseKey("hashtable", s, serviceSuffix(shards, false, 0)));
+            const auto &zipf = res.get(
+                caseKey("hashtable", s, serviceSuffix(shards, true, 0)));
+            commit.row(
+                {schemeName(s), std::to_string(shards),
+                 TableReport::integer(
+                     stat(uni, "service.commitLatency.p50")),
+                 TableReport::integer(
+                     stat(uni, "service.commitLatency.p99")),
+                 TableReport::integer(
+                     stat(uni, "service.commitLatency.p999")),
+                 TableReport::integer(
+                     stat(zipf, "service.commitLatency.p50")),
+                 TableReport::integer(
+                     stat(zipf, "service.commitLatency.p99")),
+                 TableReport::integer(
+                     stat(zipf, "service.commitLatency.p999"))});
+        }
+    }
+    commit.print();
+}
+
 } // namespace
 
 const std::vector<FigureSpec> &
@@ -640,6 +766,8 @@ figureRegistry()
          samplePrint},
         {"mcscale", "multi-core YCSB scalability (1/2/4/8 cores)",
          mcscaleCases, mcscalePrint},
+        {"service", "sharded KV service scaling (shards x skew x mix)",
+         serviceCases, servicePrint},
     };
     return registry;
 }

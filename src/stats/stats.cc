@@ -16,6 +16,87 @@ StatsRegistry::kindName(Kind kind)
     return "?";
 }
 
+namespace
+{
+
+/**
+ * The [lo, hi] value range of bucket @p b, clamped to the observed
+ * min/max (the first bucket cannot start below the smallest sample;
+ * the +inf overflow bucket ends at the largest).
+ */
+void
+bucketRange(const StatsRegistry::HistogramData &h, std::size_t b,
+            std::uint64_t *lo, std::uint64_t *hi)
+{
+    *lo = b == 0 ? 0 : h.bounds[b - 1] + 1;
+    *hi = b < h.bounds.size() ? h.bounds[b] : h.max;
+    if (*lo < h.min)
+        *lo = h.min;
+    if (*hi > h.max)
+        *hi = h.max;
+    if (*hi < *lo)
+        *hi = *lo;
+}
+
+/** Index of the bucket holding the num/den nearest-rank quantile. */
+std::size_t
+quantileBucket(const StatsRegistry::HistogramData &h, std::uint64_t num,
+               std::uint64_t den, std::uint64_t *rank_in_bucket)
+{
+    // 1-based nearest rank: the smallest rank covering num/den of the
+    // samples (ceil), clamped into [1, count].
+    std::uint64_t rank = (h.count * num + den - 1) / den;
+    if (rank == 0)
+        rank = 1;
+    if (rank > h.count)
+        rank = h.count;
+
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        if (seen + h.buckets[b] >= rank) {
+            *rank_in_bucket = rank - seen;
+            return b;
+        }
+        seen += h.buckets[b];
+    }
+    panic("histogram bucket counts disagree with count");
+}
+
+} // namespace
+
+std::uint64_t
+StatsRegistry::HistogramData::percentile(std::uint64_t num,
+                                         std::uint64_t den) const
+{
+    if (count == 0)
+        return 0;
+    std::uint64_t rank_in_bucket = 0;
+    const std::size_t b = quantileBucket(*this, num, den,
+                                         &rank_in_bucket);
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bucketRange(*this, b, &lo, &hi);
+    // The rank_in_bucket-th of buckets[b] samples assumed uniform on
+    // [lo, hi]; both the estimate and the exact sample quantile lie in
+    // that interval, bounding the error by hi - lo.
+    return lo + (hi - lo) * rank_in_bucket / buckets[b];
+}
+
+std::uint64_t
+StatsRegistry::HistogramData::percentileErrorBound(
+    std::uint64_t num, std::uint64_t den) const
+{
+    if (count == 0)
+        return 0;
+    std::uint64_t rank_in_bucket = 0;
+    const std::size_t b = quantileBucket(*this, num, den,
+                                         &rank_in_bucket);
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bucketRange(*this, b, &lo, &hi);
+    return hi - lo;
+}
+
 StatsRegistry::Entry &
 StatsRegistry::entryFor(const std::string &name, Kind kind)
 {

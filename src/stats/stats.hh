@@ -83,6 +83,27 @@ class StatsRegistry
             min = std::numeric_limits<std::uint64_t>::max();
             max = 0;
         }
+
+        /**
+         * Estimate the @p num / @p den quantile (p50 = 50/100,
+         * p999 = 999/1000) of the recorded samples under the
+         * nearest-rank definition, interpolating linearly inside the
+         * bucket that holds the rank (uniform intra-bucket
+         * assumption). The exact sample quantile provably lies in the
+         * same bucket, so the estimate is off by at most that
+         * bucket's width — the bound percentileErrorBound() reports
+         * and the percentile tests assert. Returns 0 when empty.
+         */
+        std::uint64_t percentile(std::uint64_t num,
+                                 std::uint64_t den) const;
+
+        /**
+         * Width of the (min/max-clamped) bucket the @p num / @p den
+         * quantile falls in: the resolution error bound of
+         * percentile(). Returns 0 when empty.
+         */
+        std::uint64_t percentileErrorBound(std::uint64_t num,
+                                           std::uint64_t den) const;
     };
 
     /** A cheap handle to one counter; valid as long as the registry. */

@@ -1,0 +1,176 @@
+#include "workloads/loadgen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+/** Operation-mix percentages of the YCSB core workloads. */
+struct MixRatios
+{
+    unsigned readPct = 0;
+    unsigned updatePct = 0;
+    unsigned insertPct = 0;
+    unsigned scanPct = 0;
+    unsigned rmwPct = 0;
+};
+
+MixRatios
+mixRatios(YcsbMix mix)
+{
+    switch (mix) {
+      case YcsbMix::A:
+        return {50, 50, 0, 0, 0};
+      case YcsbMix::B:
+        return {95, 5, 0, 0, 0};
+      case YcsbMix::C:
+        return {100, 0, 0, 0, 0};
+      case YcsbMix::D:
+        return {95, 0, 5, 0, 0};
+      case YcsbMix::E:
+        return {0, 0, 5, 95, 0};
+      case YcsbMix::F:
+        return {50, 0, 0, 0, 50};
+    }
+    panic("unknown YCSB mix");
+}
+
+} // namespace
+
+const char *
+ycsbMixName(YcsbMix mix)
+{
+    switch (mix) {
+      case YcsbMix::A:
+        return "A";
+      case YcsbMix::B:
+        return "B";
+      case YcsbMix::C:
+        return "C";
+      case YcsbMix::D:
+        return "D";
+      case YcsbMix::E:
+        return "E";
+      case YcsbMix::F:
+        return "F";
+    }
+    panic("unknown YCSB mix");
+}
+
+SvcLoad
+svcGenerate(const LoadGenConfig &cfg)
+{
+    panicIfNot(cfg.preloadRecords >= 1, "preload at least one record");
+    panicIfNot(cfg.keySpace >= cfg.preloadRecords,
+               "key space smaller than the preload");
+    panicIfNot(cfg.keySpace <= (std::size_t{1} << 30),
+               "key space above the 2^30 record-index layout");
+    panicIfNot(cfg.valueBytesMin >= 1 &&
+                   cfg.valueBytesMin <= cfg.valueBytesMax,
+               "bad value-size range");
+
+    SvcLoad load;
+    load.keySalt = mix64(cfg.seed ^ 0x5e21'1ce5'a17eULL);
+
+    Rng rng(mix64(cfg.seed ^ 0x10adULL));
+    ZipfianGen zipf(static_cast<double>(cfg.zipfThetaBp) / 10000.0);
+
+    auto drawValueBytes = [&]() -> std::uint32_t {
+        if (cfg.valueBytesMin == cfg.valueBytesMax)
+            return static_cast<std::uint32_t>(cfg.valueBytesMin);
+        return static_cast<std::uint32_t>(
+            rng.inRange(cfg.valueBytesMin, cfg.valueBytesMax));
+    };
+
+    load.preload.reserve(cfg.preloadRecords);
+    for (std::size_t r = 0; r < cfg.preloadRecords; ++r) {
+        SvcOp op;
+        op.kind = SvcOpKind::Insert;
+        op.record = r;
+        op.key = svcKeyForRecord(r, load.keySalt);
+        op.valueBytes = drawValueBytes();
+        load.preload.push_back(op);
+    }
+
+    const MixRatios mix = mixRatios(cfg.mix);
+    const std::uint64_t scramble_salt =
+        mix64(cfg.seed ^ 0x5c7a'3b1eULL);
+
+    std::size_t loaded = cfg.preloadRecords;  //!< records inserted
+    std::uint64_t churn_epoch = 0;
+    std::uint64_t update_salt = 0;
+
+    // Rank 0 is the hottest rank; which *record* that is rotates with
+    // the churn epoch (trending keys). Mix D instead reads "latest":
+    // rank 0 is the most recently inserted record.
+    auto recordForRank = [&](std::uint64_t rank) -> std::uint64_t {
+        if (cfg.mix == YcsbMix::D)
+            return loaded - 1 - rank;
+        return mix64Salted(rank,
+                           scramble_salt ^
+                               (churn_epoch * 0x9e3779b97f4a7c15ULL)) %
+               loaded;
+    };
+
+    auto drawRecord = [&]() -> std::uint64_t {
+        // Uniform ranks are already uniform over records; routing
+        // them through the many-to-one rank scramble would let hash
+        // collisions concentrate several ranks' mass on one record.
+        if (cfg.skew == KeySkew::Uniform && cfg.mix != YcsbMix::D)
+            return rng.below(loaded);
+        return recordForRank(cfg.skew == KeySkew::Zipfian
+                                 ? zipf.next(rng, loaded)
+                                 : rng.below(loaded));
+    };
+
+    load.ops.reserve(cfg.numOps);
+    for (std::size_t i = 0; i < cfg.numOps; ++i) {
+        if (cfg.churnInterval > 0 && i > 0 &&
+            i % cfg.churnInterval == 0)
+            ++churn_epoch;
+
+        const unsigned roll = static_cast<unsigned>(rng.below(100));
+        SvcOp op;
+        if (roll < mix.insertPct && loaded < cfg.keySpace) {
+            op.kind = SvcOpKind::Insert;
+            op.record = loaded++;
+            op.key = svcKeyForRecord(op.record, load.keySalt);
+            op.valueBytes = drawValueBytes();
+        } else if (roll < mix.insertPct + mix.updatePct) {
+            op.kind = SvcOpKind::Update;
+            op.record = drawRecord();
+            op.key = svcKeyForRecord(op.record, load.keySalt);
+            op.valueBytes = drawValueBytes();
+            op.valueSalt = mix64(++update_salt);
+        } else if (roll < mix.insertPct + mix.updatePct + mix.rmwPct) {
+            op.kind = SvcOpKind::ReadModifyWrite;
+            op.record = drawRecord();
+            op.key = svcKeyForRecord(op.record, load.keySalt);
+            op.valueBytes = drawValueBytes();
+            op.valueSalt = mix64(++update_salt);
+        } else if (roll <
+                   mix.insertPct + mix.updatePct + mix.rmwPct +
+                       mix.scanPct) {
+            op.kind = SvcOpKind::Scan;
+            op.record = drawRecord();
+            op.key = svcKeyForRecord(op.record, load.keySalt);
+            const std::uint64_t len = 1 + rng.below(cfg.scanLenMax);
+            op.scanLen = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(len, loaded - op.record));
+        } else {
+            // Reads absorb the remainder (and inserts once the key
+            // universe is exhausted), keeping the mix total at 100.
+            op.kind = SvcOpKind::Read;
+            op.record = drawRecord();
+            op.key = svcKeyForRecord(op.record, load.keySalt);
+        }
+        load.ops.push_back(op);
+    }
+    return load;
+}
+
+} // namespace slpmt

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Seeded open-loop load generator for the sharded KV service.
+ *
+ * Where ycsb.hh reproduces the paper's insert-only load phase, this
+ * generator models the serving traffic of ROADMAP item 1: YCSB A-F
+ * operation mixes over a key universe of millions of distinct keys,
+ * with uniform or Zipfian (theta = 0.99 by default) request skew,
+ * variable value sizes, and optional hot-key churn (the Zipfian hot
+ * set rotates every churnInterval ops, modelling trending keys).
+ *
+ * Everything is a pure function of the config: the same seed yields
+ * the same preload and op streams byte for byte, so service runs can
+ * be pinned like every other figure. Ranks are drawn with the Gray
+ * et al. bounded-Zipfian recurrence (the YCSB generator); the zeta
+ * sum grows incrementally as inserts extend the loaded record set.
+ */
+
+#ifndef SLPMT_WORKLOADS_LOADGEN_HH
+#define SLPMT_WORKLOADS_LOADGEN_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+
+/** Request-skew distributions of the service load. */
+enum class KeySkew : std::uint8_t
+{
+    Uniform,
+    Zipfian,
+};
+
+/** The standard YCSB core workload mixes. */
+enum class YcsbMix : std::uint8_t
+{
+    A,  //!< 50% read / 50% update
+    B,  //!< 95% read / 5% update
+    C,  //!< 100% read
+    D,  //!< 95% read (latest) / 5% insert
+    E,  //!< 95% scan / 5% insert
+    F,  //!< 50% read / 50% read-modify-write
+};
+
+const char *ycsbMixName(YcsbMix mix);
+
+/** Operation kinds a service request can carry. */
+enum class SvcOpKind : std::uint8_t
+{
+    Insert,
+    Read,
+    Update,
+    Scan,
+    ReadModifyWrite,
+};
+
+/**
+ * One generated service request. The value payload is not stored —
+ * it is the deterministic function ycsbValueFor(key ^ valueSalt,
+ * valueBytes), so streams of millions of ops stay cheap and any
+ * checker can recompute the expected bytes.
+ */
+struct SvcOp
+{
+    SvcOpKind kind = SvcOpKind::Read;
+    std::uint64_t key = 0;
+    std::uint64_t record = 0;     //!< record index the key derives from
+    std::uint32_t valueBytes = 0; //!< mutations only
+    std::uint64_t valueSalt = 0;  //!< 0 = the insert-time value
+    std::uint32_t scanLen = 0;    //!< Scan only: records swept
+
+    bool
+    isMutation() const
+    {
+        return kind == SvcOpKind::Insert || kind == SvcOpKind::Update ||
+               kind == SvcOpKind::ReadModifyWrite;
+    }
+
+    bool
+    operator==(const SvcOp &o) const
+    {
+        return kind == o.kind && key == o.key && record == o.record &&
+               valueBytes == o.valueBytes && valueSalt == o.valueSalt &&
+               scanLen == o.scanLen;
+    }
+};
+
+/** All knobs of one generated load. */
+struct LoadGenConfig
+{
+    YcsbMix mix = YcsbMix::A;
+    KeySkew skew = KeySkew::Zipfian;
+
+    /** Zipfian theta in basis points (9900 = 0.99) so configs stay
+     *  integral and hashable. */
+    unsigned zipfThetaBp = 9900;
+
+    /** Distinct-key universe inserts draw records from. Capped at
+     *  2^30 by the key-derivation layout. */
+    std::size_t keySpace = std::size_t{1} << 20;
+
+    /** Records inserted before the measured op stream. */
+    std::size_t preloadRecords = 2000;
+
+    /** Measured service requests. */
+    std::size_t numOps = 2000;
+
+    /** Value payloads are drawn uniformly from [min, max] bytes. */
+    std::size_t valueBytesMin = 64;
+    std::size_t valueBytesMax = 64;
+
+    /** Ops between hot-set rotations (Zipfian only); 0 = no churn. */
+    std::size_t churnInterval = 0;
+
+    /** Longest scan (mix E), in records. */
+    std::size_t scanLenMax = 8;
+
+    std::uint64_t seed = 42;
+};
+
+/**
+ * The key of record @p record under key-universe salt @p salt.
+ * Bit 62 keeps keys nonzero and below 2^63 (the checkers' open
+ * sentinel bounds); the low 30 bits embed the record index so keys of
+ * distinct records are provably distinct; the middle 32 bits are a
+ * salted hash so keys scatter over shards and hash buckets.
+ */
+inline std::uint64_t
+svcKeyForRecord(std::uint64_t record, std::uint64_t salt)
+{
+    const std::uint64_t h = mix64Salted(record, salt);
+    return (std::uint64_t{1} << 62) | ((h & 0xffffffffULL) << 30) |
+           (record & 0x3fffffffULL);
+}
+
+/** The deterministic value payload of a generated mutation. */
+inline std::vector<std::uint8_t>
+svcValueFor(std::uint64_t key, std::uint64_t value_salt,
+            std::size_t value_bytes)
+{
+    return ycsbValueFor(key ^ value_salt, value_bytes);
+}
+
+/**
+ * Gray et al. bounded Zipfian ranks over a growing item count (the
+ * YCSB generator). Ranks are in [0, items); rank 0 is the hottest.
+ * The zeta normaliser extends incrementally when items grows, so
+ * insert-bearing mixes stay O(new items), not O(items) per draw.
+ */
+class ZipfianGen
+{
+  public:
+    explicit ZipfianGen(double theta = 0.99) : theta(theta) {}
+
+    std::uint64_t
+    next(Rng &rng, std::uint64_t items)
+    {
+        if (items != zetaItems)
+            growZeta(items);
+        const double u = rng.uniform();
+        const double uz = u * zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta))
+            return 1;
+        const double alpha = 1.0 / (1.0 - theta);
+        const double eta =
+            (1.0 -
+             std::pow(2.0 / static_cast<double>(items), 1.0 - theta)) /
+            (1.0 - zeta2 / zetan);
+        const auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(items) *
+            std::pow(eta * u - eta + 1.0, alpha));
+        return rank >= items ? items - 1 : rank;
+    }
+
+  private:
+    void
+    growZeta(std::uint64_t items)
+    {
+        if (items < zetaItems) {
+            zetan = 0.0;
+            zetaItems = 0;
+        }
+        for (std::uint64_t i = zetaItems; i < items; ++i)
+            zetan +=
+                1.0 / std::pow(static_cast<double>(i + 1), theta);
+        zetaItems = items;
+        zeta2 = 1.0 + std::pow(0.5, theta);
+    }
+
+    double theta;
+    double zetan = 0.0;
+    double zeta2 = 0.0;
+    std::uint64_t zetaItems = 0;
+};
+
+/** One generated load: the preload inserts plus the measured ops. */
+struct SvcLoad
+{
+    std::vector<SvcOp> preload;  //!< Insert per record, arrival order
+    std::vector<SvcOp> ops;      //!< measured requests, arrival order
+    std::uint64_t keySalt = 0;   //!< salt behind svcKeyForRecord()
+};
+
+/** Generate one load; pure function of the config. */
+SvcLoad svcGenerate(const LoadGenConfig &cfg);
+
+} // namespace slpmt
+
+#endif // SLPMT_WORKLOADS_LOADGEN_HH
