@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Log-free-index wrapper: the sweep and tables live in the figure
+ * registry (src/sim/figures.cc); this binary just selects "logfree".
+ */
+
+#include "sim/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return slpmt::runFigureMain("logfree", argc, argv);
+}

@@ -493,6 +493,122 @@ fig14Print(const MatrixResult &res)
 }
 
 // -------------------------------------------------------------------
+// logfree: software log-freedom vs hardware selective logging
+// -------------------------------------------------------------------
+
+/** The log-free-by-design indexes plus a logging-reliant reference. */
+std::vector<std::string>
+logfreeWorkloads()
+{
+    auto names = indexWorkloads();  // skiplist, blinktree
+    names.push_back("rbtree");
+    return names;
+}
+
+std::vector<ExperimentCase>
+logfreeCases()
+{
+    // Three regimes per structure: the FG logging baseline (manual
+    // annotations inert), SLPMT hardware with the annotations ignored
+    // (every store logged), and SLPMT with the manual annotations —
+    // where the log-free structures commit with (near) zero records.
+    struct Mode
+    {
+        AnnotationMode mode;
+        SchemeKind scheme;
+        const char *tag;
+    };
+    const Mode modes[] = {
+        {AnnotationMode::Manual, SchemeKind::FG, "base"},
+        {AnnotationMode::None, SchemeKind::SLPMT, "plain"},
+        {AnnotationMode::Manual, SchemeKind::SLPMT, "slpmt"},
+    };
+    std::vector<ExperimentCase> cases;
+    for (const auto &workload : logfreeWorkloads()) {
+        for (const Mode &m : modes) {
+            ExperimentCase c;
+            c.workload = workload;
+            c.cfg.scheme = m.scheme;
+            c.cfg.annotations = m.mode;
+            c.cfg.ycsb.numOps = 600;
+            c.cfg.ycsb.valueBytes = 64;
+            c.key = caseKey(workload, m.scheme, m.tag);
+            cases.push_back(std::move(c));
+        }
+    }
+    return cases;
+}
+
+void
+logfreePrint(const MatrixResult &res)
+{
+    auto stat = [](const ExperimentResult &cell, const char *name) {
+        auto it = cell.stats.find(name);
+        return it == cell.stats.end() ? std::uint64_t{0} : it->second;
+    };
+
+    TableReport speedup(
+        "logfree: speedup over the FG logging baseline (600 inserts, "
+        "64B values)");
+    speedup.header({"structure", "SLPMT unannotated", "SLPMT annotated",
+                    "traffic cut (annotated)"});
+    std::vector<double> plain_all;
+    std::vector<double> slpmt_all;
+    for (const auto &workload : logfreeWorkloads()) {
+        const auto &base =
+            res.get(caseKey(workload, SchemeKind::FG, "base"));
+        const auto &plain =
+            res.get(caseKey(workload, SchemeKind::SLPMT, "plain"));
+        const auto &slpmt =
+            res.get(caseKey(workload, SchemeKind::SLPMT, "slpmt"));
+        const double sp = plain.speedupOver(base);
+        const double ss = slpmt.speedupOver(base);
+        plain_all.push_back(sp);
+        slpmt_all.push_back(ss);
+        speedup.row({workload, TableReport::ratio(sp),
+                     TableReport::ratio(ss),
+                     TableReport::percent(
+                         slpmt.trafficReductionOver(base))});
+    }
+    speedup.row({"geomean", TableReport::ratio(geomean(plain_all)),
+                 TableReport::ratio(geomean(slpmt_all)), ""});
+    speedup.print();
+
+    // The structural point of the figure: under the annotations the
+    // log-free indexes *eliminate* records (publication stores need
+    // none) while the logging-reliant reference merely shrinks or
+    // defers its set.
+    TableReport records(
+        "logfree: undo/redo log records and elision per structure");
+    records.header({"structure", "FG records", "SLPMT records",
+                    "eliminated", "words elided", "lazy drains"});
+    for (const auto &workload : logfreeWorkloads()) {
+        const auto &base =
+            res.get(caseKey(workload, SchemeKind::FG, "base"));
+        const auto &slpmt =
+            res.get(caseKey(workload, SchemeKind::SLPMT, "slpmt"));
+        const double cut =
+            base.logRecords
+                ? 1.0 - static_cast<double>(slpmt.logRecords) /
+                            static_cast<double>(base.logRecords)
+                : 0.0;
+        const std::uint64_t drains =
+            stat(slpmt, "txn.lazyDrain.eviction") +
+            stat(slpmt, "txn.lazyDrain.explicit") +
+            stat(slpmt, "txn.lazyDrain.sigHit") +
+            stat(slpmt, "txn.lazyDrain.lineOwner") +
+            stat(slpmt, "txn.lazyDrain.idWrap");
+        records.row({workload, TableReport::integer(base.logRecords),
+                     TableReport::integer(slpmt.logRecords),
+                     TableReport::percent(cut),
+                     TableReport::integer(
+                         stat(slpmt, "txn.logFreeWordsElided")),
+                     TableReport::integer(drains)});
+    }
+    records.print();
+}
+
+// -------------------------------------------------------------------
 // Sample: a small pinned sweep for quick CI / sanitizer runs
 // -------------------------------------------------------------------
 
@@ -768,6 +884,8 @@ figureRegistry()
          mcscaleCases, mcscalePrint},
         {"service", "sharded KV service scaling (shards x skew x mix)",
          serviceCases, servicePrint},
+        {"logfree", "log-free-by-design indexes vs selective logging",
+         logfreeCases, logfreePrint},
     };
     return registry;
 }

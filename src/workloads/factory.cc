@@ -2,12 +2,14 @@
 
 #include "common/logging.hh"
 #include "workloads/avltree.hh"
+#include "workloads/blinktree.hh"
 #include "workloads/hashtable.hh"
 #include "workloads/kv_btree.hh"
 #include "workloads/kv_ctree.hh"
 #include "workloads/kv_rtree.hh"
 #include "workloads/maxheap.hh"
 #include "workloads/rbtree.hh"
+#include "workloads/skiplist.hh"
 
 namespace slpmt
 {
@@ -29,6 +31,10 @@ makeWorkload(const std::string &name)
         return std::make_unique<KvCtreeWorkload>();
     if (name == "kv-rtree")
         return std::make_unique<KvRtreeWorkload>();
+    if (name == "skiplist")
+        return std::make_unique<SkipListWorkload>();
+    if (name == "blinktree")
+        return std::make_unique<BlinkTreeWorkload>();
     fatal("unknown workload: " + name);
 }
 
@@ -49,11 +55,19 @@ kvWorkloads()
 }
 
 const std::vector<std::string> &
+indexWorkloads()
+{
+    static const std::vector<std::string> names = {"skiplist",
+                                                   "blinktree"};
+    return names;
+}
+
+const std::vector<std::string> &
 allWorkloads()
 {
     static const std::vector<std::string> names = {
-        "hashtable", "rbtree", "heap", "avl",
-        "kv-btree",  "kv-ctree", "kv-rtree"};
+        "hashtable", "rbtree", "heap", "avl", "kv-btree",
+        "kv-ctree",  "kv-rtree", "skiplist", "blinktree"};
     return names;
 }
 

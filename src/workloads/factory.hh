@@ -26,6 +26,9 @@ const std::vector<std::string> &kernelWorkloads();
 /** The PMKV backends of Figure 14. */
 const std::vector<std::string> &kvWorkloads();
 
+/** The log-free-by-design index structures (skiplist, blinktree). */
+const std::vector<std::string> &indexWorkloads();
+
 /** Every workload. */
 const std::vector<std::string> &allWorkloads();
 

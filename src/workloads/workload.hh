@@ -12,6 +12,16 @@
  * structure-specific fix-up of log-free and lazily persistent data
  * that Section IV assigns to the program/runtime — and a deep
  * consistency checker used by the property tests.
+ *
+ * Two workload families implement the interface: the logging-reliant
+ * structures (hashtable, rbtree, heap, avl, kv-btree, kv-ctree,
+ * kv-rtree), whose durability comes from the schemes' undo/redo
+ * machinery, and the log-free-by-design index structures (skiplist,
+ * blinktree), which are crash consistent through single-atomic-store
+ * publication and writers-fix-inconsistency repair, and use the
+ * selective-logging annotations to *eliminate* records rather than to
+ * defer them. `factory.hh` groups them (kernelWorkloads, kvWorkloads,
+ * indexWorkloads).
  */
 
 #ifndef SLPMT_WORKLOADS_WORKLOAD_HH
@@ -111,7 +121,8 @@ class Workload
      * transaction frees (poisoning the dead node) need neither
      * logging nor persistence, so they are issued as lazy log-free
      * storeT. Implemented by the structures with simple unlink paths
-     * (hashtable, kv-ctree, heap); the default reports "unsupported".
+     * (hashtable, kv-ctree, heap, skiplist, blinktree); the default
+     * reports "unsupported".
      *
      * @return false when the key is absent or removal is unsupported
      */

@@ -102,6 +102,34 @@ TEST(CrashSweep, LazyCacheLineGrainRecoversEverySampledPoint)
     expectCleanSweeps(SchemeKind::SLPMT_CL, LoggingStyle::Undo);
 }
 
+/** Dedicated index-structure sweeps: the log-free skiplist and
+ *  blinktree under a remove-bearing mix, across the logging baseline
+ *  and the full hardware scheme in both styles. Removes matter here —
+ *  they drive the unlink/unpublish paths whose final-store-commits
+ *  contract the structures' crash consistency rests on. */
+TEST(CrashSweep, IndexStructuresSurviveRemoveBearingSweeps)
+{
+    for (const auto &workload : indexWorkloads()) {
+        for (SchemeKind scheme : {SchemeKind::FG, SchemeKind::SLPMT}) {
+            for (LoggingStyle style :
+                 {LoggingStyle::Undo, LoggingStyle::Redo}) {
+                CrashSweepConfig cfg =
+                    sweepConfig(scheme, style, workload);
+                cfg.mix.numOps = 40;
+                cfg.mix.insertPct = 55;
+                cfg.mix.updatePct = 15;
+                cfg.mix.removePct = 30;
+                cfg.maxPoints = 40;
+                const auto report = runCrashSweep(cfg);
+                EXPECT_EQ(report.violationCount(), 0u)
+                    << workload << "/" << schemeName(scheme) << ":\n"
+                    << report.violationsText();
+                EXPECT_GE(report.pointsExplored(), 40u) << workload;
+            }
+        }
+    }
+}
+
 /** Broader, shallower pass: every registered workload survives a
  *  sampled sweep under the full SLPMT scheme. */
 TEST(CrashSweep, EveryWorkloadSurvivesSampledCrashes)

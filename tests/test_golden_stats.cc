@@ -74,6 +74,106 @@ TEST(GoldenStats, PinnedConfigsMatchExactly)
     }
 }
 
+// -------------------------------------------------------------------
+// Index-structure elision anchors: the exact Pattern-1/Pattern-2
+// outcome for the log-free skiplist and blinktree per scheme on the
+// same pinned shape (200 ops, 64 B values, seed 42). logRecords and
+// wordsElided pin the log-free elision (Pattern-1: the annotation is
+// honored exactly when the scheme allows log-free stores), lazyDrains
+// pins the deferred-persist machinery (Pattern-2).
+// -------------------------------------------------------------------
+
+struct IndexGoldenCase
+{
+    const char *workload;
+    SchemeKind scheme;
+    std::uint64_t logRecords;
+    std::uint64_t wordsElided;
+    std::uint64_t lazyDrains;
+};
+
+const IndexGoldenCase indexGoldenCases[] = {
+    {"skiplist", SchemeKind::FG, 3308ull, 0ull, 0ull},
+    {"skiplist", SchemeKind::FG_LG, 254ull, 3054ull, 0ull},
+    {"skiplist", SchemeKind::FG_LZ, 3308ull, 0ull, 236ull},
+    {"skiplist", SchemeKind::SLPMT, 254ull, 3054ull, 236ull},
+    {"skiplist", SchemeKind::SLPMT_CL, 248ull, 3054ull, 236ull},
+    {"skiplist", SchemeKind::ATOM, 971ull, 0ull, 0ull},
+    {"skiplist", SchemeKind::EDE, 2333ull, 0ull, 0ull},
+    {"blinktree", SchemeKind::FG, 3512ull, 0ull, 0ull},
+    {"blinktree", SchemeKind::FG_LG, 581ull, 2956ull, 0ull},
+    {"blinktree", SchemeKind::FG_LZ, 3512ull, 0ull, 164ull},
+    {"blinktree", SchemeKind::SLPMT, 581ull, 2956ull, 164ull},
+    {"blinktree", SchemeKind::SLPMT_CL, 363ull, 2956ull, 164ull},
+    {"blinktree", SchemeKind::ATOM, 1422ull, 0ull, 0ull},
+    {"blinktree", SchemeKind::EDE, 2540ull, 0ull, 0ull},
+};
+
+TEST(GoldenStats, IndexElisionCountersMatchExactly)
+{
+    for (const IndexGoldenCase &golden : indexGoldenCases) {
+        ExperimentConfig cfg;
+        cfg.scheme = golden.scheme;
+        cfg.ycsb.numOps = 200;
+        cfg.ycsb.valueBytes = 64;
+        const ExperimentResult res =
+            runExperiment(golden.workload, cfg);
+
+        auto stat = [&res](const char *name) {
+            auto it = res.stats.find(name);
+            return it == res.stats.end() ? std::uint64_t{0}
+                                         : it->second;
+        };
+        const std::uint64_t drains = stat("txn.lazyDrain.sigHit") +
+                                     stat("txn.lazyDrain.lineOwner") +
+                                     stat("txn.lazyDrain.idWrap") +
+                                     stat("txn.lazyDrain.eviction") +
+                                     stat("txn.lazyDrain.explicit");
+
+        const std::string label = std::string(golden.workload) + "/" +
+                                  schemeName(golden.scheme);
+        EXPECT_TRUE(res.verified) << label << ": " << res.failure;
+        EXPECT_EQ(res.logRecords, golden.logRecords) << label;
+        EXPECT_EQ(stat("txn.logFreeWordsElided"), golden.wordsElided)
+            << label;
+        EXPECT_EQ(drains, golden.lazyDrains) << label;
+    }
+}
+
+// The structural claims behind the logfree figure, pinned: the
+// schemes that honor the annotations eliminate most records outright,
+// and elision/deferral track exactly which storeT operand each scheme
+// supports.
+TEST(GoldenStats, IndexElisionFollowsSchemeCapabilities)
+{
+    auto of = [](const char *workload, SchemeKind scheme) {
+        for (const IndexGoldenCase &g : indexGoldenCases) {
+            if (g.workload == std::string(workload) &&
+                g.scheme == scheme)
+                return g;
+        }
+        ADD_FAILURE() << "no index golden case";
+        return IndexGoldenCase{};
+    };
+    for (const char *workload : {"skiplist", "blinktree"}) {
+        const IndexGoldenCase fg = of(workload, SchemeKind::FG);
+        const IndexGoldenCase lg = of(workload, SchemeKind::FG_LG);
+        const IndexGoldenCase lz = of(workload, SchemeKind::FG_LZ);
+        const IndexGoldenCase hw = of(workload, SchemeKind::SLPMT);
+        // Log-free-by-design: the annotation-honoring schemes must
+        // eliminate the overwhelming majority of the records the
+        // full-logging baseline writes.
+        EXPECT_LT(hw.logRecords * 5, fg.logRecords) << workload;
+        // A scheme without log-free support elides nothing; a scheme
+        // without lazy support drains nothing.
+        EXPECT_EQ(lz.logRecords, fg.logRecords) << workload;
+        EXPECT_EQ(lz.wordsElided, 0u) << workload;
+        EXPECT_EQ(lg.lazyDrains, 0u) << workload;
+        EXPECT_EQ(lg.logRecords, hw.logRecords) << workload;
+        EXPECT_EQ(lg.wordsElided, hw.wordsElided) << workload;
+    }
+}
+
 // The ordering the paper's headline claims depend on: SLPMT beats the
 // baselines at both runtime and traffic on the pinned config.
 TEST(GoldenStats, PinnedOrderingBetweenSchemes)

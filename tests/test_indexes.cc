@@ -1,0 +1,677 @@
+/**
+ * @file
+ * Test tier for the log-free-by-design index structures (skiplist,
+ * blinktree). Four families:
+ *
+ *  - Differential: a seeded mixed trace against a std::map shadow
+ *    oracle, clean and crash-interrupted, across every scheme and
+ *    both logging styles. The shadow advances only when an operation
+ *    returns, so a crash-interrupted op must leave no visible effect
+ *    — exactly the single-atomic-store publication contract.
+ *  - Determinism: the same trace leaves a byte-identical durable PM
+ *    image on every rerun (clean and crashed) — the property the
+ *    checkpointed crash sweeps and the figure harness rely on.
+ *  - Repair: the writers-fix-inconsistency routines actually run —
+ *    skiplist tower rewiring and dead-mark clearing, blinktree
+ *    sibling attachment, residue sweeps and recounts — observed
+ *    through the workloads' RepairStats.
+ *  - Compiler patterns and checker negatives: Pattern-1/Pattern-2
+ *    prove the annotated sites and refuse the deep-semantics ones;
+ *    corrupted images are caught by the consistency checkers.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler_policy.hh"
+#include "core/pm_system.hh"
+#include "test_util.hh"
+#include "workloads/blinktree.hh"
+#include "workloads/factory.hh"
+#include "workloads/skiplist.hh"
+#include "workloads/ycsb.hh"
+
+namespace slpmt
+{
+namespace
+{
+
+using Shadow = std::map<std::uint64_t, std::vector<std::uint8_t>>;
+
+const SchemeKind allSchemes[] = {
+    SchemeKind::FG,   SchemeKind::FG_LG,    SchemeKind::FG_LZ,
+    SchemeKind::SLPMT, SchemeKind::SLPMT_CL, SchemeKind::ATOM,
+    SchemeKind::EDE};
+
+const LoggingStyle bothStyles[] = {LoggingStyle::Undo,
+                                   LoggingStyle::Redo};
+
+SystemConfig
+configFor(SchemeKind kind, LoggingStyle style)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeConfig::forKind(kind);
+    cfg.style = style;
+    return cfg;
+}
+
+/** The shared mixed trace: inserts, updates and removes on a small
+ *  key space so all three op kinds hit present keys. */
+std::vector<YcsbMixedOp>
+indexTrace()
+{
+    YcsbMixConfig mix;
+    mix.numOps = 90;
+    mix.valueBytes = 48;
+    mix.seed = 29;
+    mix.insertPct = 55;
+    mix.updatePct = 25;
+    mix.removePct = 20;
+    return ycsbMixedLoad(mix);
+}
+
+/** Apply one op; the shadow advances only after the op returns. */
+void
+applyOp(PmContext &sys, Workload &wl, const YcsbMixedOp &op,
+        Shadow *shadow)
+{
+    switch (op.kind) {
+      case YcsbOpKind::Insert:
+        wl.insert(sys, op.key, op.value);
+        (*shadow)[op.key] = op.value;
+        break;
+      case YcsbOpKind::Update:
+        if (wl.update(sys, op.key, op.value))
+            (*shadow)[op.key] = op.value;
+        break;
+      case YcsbOpKind::Remove:
+        if (wl.remove(sys, op.key))
+            shadow->erase(op.key);
+        break;
+    }
+}
+
+/** Full logical-state comparison against the shadow: every shadow
+ *  key present with its value, every other trace key absent. */
+void
+expectMatchesShadow(const std::string &name, PmSystem &sys, Workload &wl,
+                    const std::vector<YcsbMixedOp> &trace,
+                    const Shadow &shadow)
+{
+    EXPECT_EQ(wl.count(sys), shadow.size()) << name;
+    std::vector<std::uint8_t> got;
+    for (const auto &[key, expected] : shadow) {
+        got.clear();
+        ASSERT_TRUE(wl.lookup(sys, key, &got)) << name << " key " << key;
+        EXPECT_EQ(got, expected) << name << " key " << key;
+    }
+    std::set<std::uint64_t> absent;
+    for (const auto &op : trace)
+        absent.insert(op.key);
+    for (const auto &[key, value] : shadow)
+        absent.erase(key);
+    for (std::uint64_t key : absent)
+        EXPECT_FALSE(wl.lookup(sys, key, nullptr)) << name << " key "
+                                                   << key;
+    std::string why;
+    EXPECT_TRUE(wl.checkConsistency(sys, &why)) << name << ": " << why;
+}
+
+/** FNV-1a over the durable pages in ascending address order. */
+std::uint64_t
+pmFingerprint(PmSystem &sys)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    sys.pm().memory().forEachPageSorted(
+        [&](Addr page, const PagedMemory::Page &data) {
+            fold(page);
+            for (std::uint8_t byte : data) {
+                h ^= byte;
+                h *= 0x100000001b3ULL;
+            }
+        });
+    return h;
+}
+
+// -------------------------------------------------------------------
+// Clean differential across every scheme and both styles
+// -------------------------------------------------------------------
+
+class IndexDifferential : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(IndexDifferential, MixedTraceMatchesShadowUnderEveryScheme)
+{
+    const auto trace = indexTrace();
+    for (SchemeKind scheme : allSchemes) {
+        for (LoggingStyle style : bothStyles) {
+            PmSystem sys(configFor(scheme, style));
+            auto wl = makeWorkload(GetParam());
+            wl->setup(sys);
+            Shadow shadow;
+            for (const auto &op : trace)
+                applyOp(sys, *wl, op, &shadow);
+            expectMatchesShadow(GetParam() + "/" + schemeName(scheme),
+                                sys, *wl, trace, shadow);
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Crashed differential: sampled mid-trace crash points
+// -------------------------------------------------------------------
+
+class IndexCrash : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(IndexCrash, InterruptedOpLeavesNoVisibleEffect)
+{
+    const auto trace = indexTrace();
+    for (SchemeKind scheme : allSchemes) {
+        for (LoggingStyle style : bothStyles) {
+            for (std::uint64_t point : {7u, 90u, 260u, 600u}) {
+                PmSystem sys(configFor(scheme, style));
+                auto wl = makeWorkload(GetParam());
+                wl->setup(sys);
+
+                Shadow shadow;
+                sys.armCrashAfterStores(point);
+                std::size_t next = 0;
+                bool crashed = false;
+                while (next < trace.size()) {
+                    try {
+                        applyOp(sys, *wl, trace[next], &shadow);
+                        ++next;
+                    } catch (const CrashInjected &) {
+                        crashed = true;
+                        break;
+                    }
+                }
+                sys.armCrashAfterStores(0);
+                const std::string name = GetParam() + "/" +
+                                         schemeName(scheme) + "/n" +
+                                         std::to_string(point);
+                if (!crashed) {
+                    // The point lies past the trace's store count:
+                    // nothing to recover, the clean run must match.
+                    expectMatchesShadow(name, sys, *wl, trace, shadow);
+                    continue;
+                }
+
+                sys.recoverHardware();
+                wl->recover(sys);
+                expectMatchesShadow(name, sys, *wl, trace, shadow);
+
+                // The structure keeps working: finish the trace
+                // (re-running the interrupted op) and re-verify.
+                for (; next < trace.size(); ++next)
+                    applyOp(sys, *wl, trace[next], &shadow);
+                expectMatchesShadow(name + "/resumed", sys, *wl, trace,
+                                    shadow);
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Byte-identical PM-image rerun determinism, clean and crashed
+// -------------------------------------------------------------------
+
+class IndexDeterminism : public ::testing::TestWithParam<std::string>
+{
+};
+
+std::uint64_t
+cleanRunFingerprint(const std::string &workload, SchemeKind scheme,
+                    LoggingStyle style,
+                    const std::vector<YcsbMixedOp> &trace)
+{
+    PmSystem sys(configFor(scheme, style));
+    auto wl = makeWorkload(workload);
+    wl->setup(sys);
+    Shadow shadow;
+    for (const auto &op : trace)
+        applyOp(sys, *wl, op, &shadow);
+    sys.quiesce();
+    return pmFingerprint(sys);
+}
+
+TEST_P(IndexDeterminism, CleanRerunsAreByteIdentical)
+{
+    const auto trace = indexTrace();
+    for (SchemeKind scheme : allSchemes) {
+        for (LoggingStyle style : bothStyles) {
+            const auto a =
+                cleanRunFingerprint(GetParam(), scheme, style, trace);
+            const auto b =
+                cleanRunFingerprint(GetParam(), scheme, style, trace);
+            EXPECT_EQ(a, b) << GetParam() << "/" << schemeName(scheme);
+        }
+    }
+}
+
+std::uint64_t
+crashedRunFingerprint(const std::string &workload, SchemeKind scheme,
+                      std::uint64_t point,
+                      const std::vector<YcsbMixedOp> &trace)
+{
+    PmSystem sys(configFor(scheme, LoggingStyle::Undo));
+    auto wl = makeWorkload(workload);
+    wl->setup(sys);
+    Shadow shadow;
+    sys.armCrashAfterStores(point);
+    std::size_t next = 0;
+    while (next < trace.size()) {
+        try {
+            applyOp(sys, *wl, trace[next], &shadow);
+            ++next;
+        } catch (const CrashInjected &) {
+            break;
+        }
+    }
+    sys.armCrashAfterStores(0);
+    sys.recoverHardware();
+    wl->recover(sys);
+    return pmFingerprint(sys);
+}
+
+TEST_P(IndexDeterminism, CrashedRerunsAreByteIdentical)
+{
+    const auto trace = indexTrace();
+    for (SchemeKind scheme : {SchemeKind::FG, SchemeKind::SLPMT}) {
+        for (std::uint64_t point : {35u, 180u, 420u}) {
+            const auto a =
+                crashedRunFingerprint(GetParam(), scheme, point, trace);
+            const auto b =
+                crashedRunFingerprint(GetParam(), scheme, point, trace);
+            EXPECT_EQ(a, b) << GetParam() << "/" << schemeName(scheme)
+                            << "/n" << point;
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// The repair routines actually run
+// -------------------------------------------------------------------
+
+TEST(IndexRepair, SkiplistRecoverRebuildsLostUpperLinks)
+{
+    // Upper tower links are lazy (Pattern-2). A lazy link only stays
+    // volatile until the crash when nothing persists its line first:
+    // the level-l predecessor must be a different node than the
+    // level-0 predecessor (whose line the eager publish store
+    // persists), and the insert must be among the last numTxnIds
+    // transactions (later ones drain it on id wrap). Construct that:
+    // fill the list with height-1 keys, then insert one tall key
+    // last — its level-1 link lands on the head sentinel, lazily —
+    // and crash before any drain.
+    PmSystem sys(configFor(SchemeKind::SLPMT, LoggingStyle::Undo));
+    SkipListWorkload wl;
+    wl.setup(sys);
+
+    const std::vector<std::uint8_t> value(24, 0x5a);
+    std::uint64_t tall = 0;
+    std::vector<std::uint64_t> inserted;
+    for (std::uint64_t key = 1; key <= 199; key += 2) {
+        if (SkipListWorkload::towerHeight(key) == 1) {
+            wl.insert(sys, key, value);
+            inserted.push_back(key);
+        } else if (!tall && !inserted.empty()) {
+            tall = key;  // has a short level-0 predecessor
+        }
+    }
+    ASSERT_NE(tall, 0u) << "no tall key in [1,199]";
+    wl.insert(sys, tall, value);
+    inserted.push_back(tall);
+
+    sys.crash();  // the tall key's lazy tower link is dropped
+    sys.recoverHardware();
+    wl.recover(sys);
+
+    EXPECT_GT(wl.repairs().upperLinks, 0u);
+    std::string why;
+    EXPECT_TRUE(wl.checkConsistency(sys, &why)) << why;
+    for (std::uint64_t key : inserted)
+        EXPECT_TRUE(wl.lookup(sys, key, nullptr)) << key;
+}
+
+TEST(IndexRepair, SkiplistRecoverClearsAdvisoryDeadMarks)
+{
+    // The dead mark is Pattern-1b advisory state (lazy + log-free):
+    // by rule R4 it may hold *any* residual value after a crash — a
+    // deferred lazy line draining into a freed-then-reused region is
+    // enough. Recovery must normalize the marks on the live chain
+    // without touching key visibility; plant the residue directly.
+    PmSystem sys(configFor(SchemeKind::SLPMT, LoggingStyle::Undo));
+    SkipListWorkload wl;
+    wl.setup(sys);
+
+    const auto ops = ycsbLoad({.numOps = 24, .valueBytes = 32, .seed = 3});
+    for (const auto &op : ops)
+        wl.insert(sys, op.key, op.value);
+    sys.quiesce();
+    sys.crash();
+
+    const Addr hdr = sys.peek<Addr>(sys.rootSlotAddr(8));
+    const Addr head = sys.peek<Addr>(hdr + 0);
+    const Addr first = sys.peek<Addr>(head + 32);  // level-0 next
+    ASSERT_NE(first, 0u);
+    const std::uint64_t mark = 1;
+    sys.pm().poke(first + 24, &mark, sizeof(mark));  // deadMark word
+
+    sys.recoverHardware();
+    wl.recover(sys);
+
+    EXPECT_GT(wl.repairs().deadMarks, 0u);
+    std::string why;
+    EXPECT_TRUE(wl.checkConsistency(sys, &why)) << why;
+    for (const auto &op : ops)
+        EXPECT_TRUE(wl.lookup(sys, op.key, nullptr)) << op.key;
+}
+
+TEST(IndexRepair, BlinktreeCrashScanAttachesSiblingsAndSweepsResidue)
+{
+    // The split protocol publishes the sibling in its own committed
+    // transaction; crashes before the residue sweep or the parent
+    // insert leave work that recovery's writers-fix pass must finish.
+    const auto ops = ycsbLoad({.numOps = 40, .valueBytes = 32, .seed = 11});
+    BlinkTreeWorkload::RepairStats seen;
+    for (std::uint64_t point = 2; point <= 300; point += 3) {
+        PmSystem sys(configFor(SchemeKind::SLPMT, LoggingStyle::Undo));
+        BlinkTreeWorkload wl;
+        wl.setup(sys);
+
+        sys.armCrashAfterStores(point);
+        bool crashed = false;
+        std::size_t committed = 0;
+        try {
+            for (const auto &op : ops) {
+                wl.insert(sys, op.key, op.value);
+                ++committed;
+            }
+        } catch (const CrashInjected &) {
+            crashed = true;
+        }
+        sys.armCrashAfterStores(0);
+        if (!crashed)
+            break;  // the scan ran past the trace's store count
+
+        sys.recoverHardware();
+        wl.recover(sys);
+        seen.parentFixes += wl.repairs().parentFixes;
+        seen.residueSweeps += wl.repairs().residueSweeps;
+        seen.countFixes += wl.repairs().countFixes;
+        std::string why;
+        ASSERT_TRUE(wl.checkConsistency(sys, &why))
+            << "point " << point << ": " << why;
+        for (std::size_t i = 0; i < committed; ++i)
+            EXPECT_TRUE(wl.lookup(sys, ops[i].key, nullptr))
+                << "point " << point << " key " << i;
+    }
+    EXPECT_GT(seen.parentFixes, 0u);
+    EXPECT_GT(seen.residueSweeps, 0u);
+}
+
+TEST(IndexRepair, BlinktreeRecoverRecountsAfterLazyCountLoss)
+{
+    // The element count is lazy (rebuildable): losing it must only
+    // cost a recount, never an inconsistency.
+    PmSystem sys(configFor(SchemeKind::SLPMT, LoggingStyle::Undo));
+    BlinkTreeWorkload wl;
+    wl.setup(sys);
+
+    const auto ops = ycsbLoad({.numOps = 40, .valueBytes = 32, .seed = 11});
+    for (const auto &op : ops)
+        wl.insert(sys, op.key, op.value);
+
+    sys.crash();  // no quiesce: the lazy count word is stale
+    sys.recoverHardware();
+    wl.recover(sys);
+
+    EXPECT_GT(wl.repairs().countFixes, 0u);
+    EXPECT_EQ(wl.count(sys), ops.size());
+    std::string why;
+    EXPECT_TRUE(wl.checkConsistency(sys, &why)) << why;
+}
+
+// -------------------------------------------------------------------
+// Compiler Pattern-1/Pattern-2 proofs and refusals per store site
+// -------------------------------------------------------------------
+
+struct SiteExpectation
+{
+    const char *name;
+    bool logFree;
+    bool lazy;
+};
+
+void
+expectCompilerFlags(const std::string &workload,
+                    const std::vector<SiteExpectation> &expected)
+{
+    PmSystem sys(configFor(SchemeKind::SLPMT, LoggingStyle::Undo));
+    auto wl = makeWorkload(workload);
+    wl->setup(sys);
+
+    const CompilerAnnotationPolicy pass;
+    std::map<std::string, StoreFlags> inferred;
+    for (const auto &info : sys.sites().all())
+        inferred[info.name] = pass.flagsFor(info);
+
+    for (const auto &e : expected) {
+        ASSERT_TRUE(inferred.count(e.name)) << e.name;
+        EXPECT_EQ(inferred[e.name].logFree, e.logFree) << e.name;
+        EXPECT_EQ(inferred[e.name].lazy, e.lazy) << e.name;
+    }
+}
+
+TEST(IndexCompilerPattern, SkiplistSitesProvenOrRefused)
+{
+    expectCompilerFlags(
+        "skiplist",
+        {
+            // Pattern-1: stores into the transaction's fresh
+            // allocation need no logging.
+            {"skiplist.insert.freshNode", true, false},
+            {"skiplist.insert.value", true, false},
+            // Pattern-1b: the advisory mark in the region the
+            // transaction frees needs neither logging nor
+            // persistence.
+            {"skiplist.remove.deadMark", true, true},
+            // Pattern-2: the upper tower links are rebuildable.
+            {"skiplist.insert.upperLink", false, true},
+            // Refused: publication/unlink stores and the count word
+            // carry deep crash semantics the pass cannot see.
+            {"skiplist.insert.publish", false, false},
+            {"skiplist.remove.unlink", false, false},
+            {"skiplist.count", false, false},
+        });
+}
+
+TEST(IndexCompilerPattern, BlinktreeSitesProvenOrRefused)
+{
+    expectCompilerFlags(
+        "blinktree",
+        {
+            {"blinktree.split.freshNode", true, false},
+            {"blinktree.insert.value", true, false},
+            // Pattern-2 proves the recount-on-recovery count word —
+            // the variant the skiplist's deep-flagged count refuses.
+            {"blinktree.count", false, true},
+            // Refused: slot/bitmap publication, value swings and the
+            // split's high-key/residue stores are deep semantics.
+            {"blinktree.insert.slot", false, false},
+            {"blinktree.insert.publish", false, false},
+            {"blinktree.remove.publish", false, false},
+            {"blinktree.update.publish", false, false},
+            {"blinktree.split.highKey", false, false},
+            {"blinktree.split.residue", false, false},
+            // Plain logged sites stay plain.
+            {"blinktree.split.next", false, false},
+            {"blinktree.parent.entry", false, false},
+            {"blinktree.parent.meta", false, false},
+        });
+}
+
+class IndexCompilerRun : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(IndexCompilerRun, CompilerAnnotatedTraceMatchesShadow)
+{
+    const auto trace = indexTrace();
+    PmSystem sys(configFor(SchemeKind::SLPMT, LoggingStyle::Undo));
+    const CompilerAnnotationPolicy pass;
+    sys.setAnnotationPolicy(&pass);
+    auto wl = makeWorkload(GetParam());
+    wl->setup(sys);
+    Shadow shadow;
+    for (const auto &op : trace)
+        applyOp(sys, *wl, op, &shadow);
+    expectMatchesShadow(GetParam() + "/compiler", sys, *wl, trace,
+                        shadow);
+}
+
+// -------------------------------------------------------------------
+// Checker negatives: corrupted images must be caught
+// -------------------------------------------------------------------
+
+struct IndexRig
+{
+    explicit IndexRig(const std::string &name)
+        : workload(makeWorkload(name))
+    {
+        workload->setup(sys);
+        ops = ycsbLoad({.numOps = 60, .valueBytes = 32, .seed = 17});
+        for (const auto &op : ops)
+            workload->insert(sys, op.key, op.value);
+        sys.quiesce();
+        sys.hierarchy().crash();  // drop caches; PM image is complete
+    }
+
+    bool
+    consistent()
+    {
+        std::string why;
+        return workload->checkConsistency(sys, &why);
+    }
+
+    void
+    clobber(Addr addr, std::uint64_t value)
+    {
+        sys.pm().poke(addr, &value, sizeof(value));
+    }
+
+    PmSystem sys;
+    std::unique_ptr<Workload> workload;
+    std::vector<YcsbOp> ops;
+};
+
+TEST(IndexCheckers, SkiplistDetectsBrokenUpperLink)
+{
+    IndexRig rig("skiplist");
+    // The head sentinel's level-1 pointer leads the tall-tower chain;
+    // zeroing it orphans every height>=2 node from level 1.
+    const Addr hdr = rig.sys.peek<Addr>(rig.sys.rootSlotAddr(8));
+    const Addr head = rig.sys.peek<Addr>(hdr + 0);
+    ASSERT_NE(rig.sys.peek<Addr>(head + 32 + 8), 0u)
+        << "trace grew no tall towers";
+    rig.clobber(head + 32 + 8, 0);
+    EXPECT_FALSE(rig.consistent());
+}
+
+TEST(IndexCheckers, SkiplistDetectsCountDrift)
+{
+    IndexRig rig("skiplist");
+    const Addr hdr = rig.sys.peek<Addr>(rig.sys.rootSlotAddr(8));
+    rig.clobber(hdr + 8, 9999);
+    EXPECT_FALSE(rig.consistent());
+}
+
+TEST(IndexCheckers, BlinktreeDetectsClearedValuePointer)
+{
+    IndexRig rig("blinktree");
+    // Walk to the leftmost leaf and zero the value pointer of a
+    // published slot.
+    const Addr hdr = rig.sys.peek<Addr>(rig.sys.rootSlotAddr(9));
+    Addr node = rig.sys.peek<Addr>(hdr + 0);
+    while (rig.sys.peek<std::uint64_t>(node + 0) == 1)  // internal tag
+        node = rig.sys.peek<Addr>(node + 88);
+    const auto meta = rig.sys.peek<std::uint64_t>(node + 8);
+    const auto high = rig.sys.peek<std::uint64_t>(node + 16);
+    bool clobbered = false;
+    for (std::uint64_t j = 0; j < 7 && !clobbered; ++j) {
+        if (!(meta & (1ULL << j)))
+            continue;
+        if (rig.sys.peek<std::uint64_t>(node + 32 + 8 * j) >= high)
+            continue;  // residue slot: benign by design
+        rig.clobber(node + 88 + 8 * j, 0);
+        clobbered = true;
+    }
+    ASSERT_TRUE(clobbered) << "leftmost leaf had no live slot";
+    EXPECT_FALSE(rig.consistent());
+}
+
+TEST(IndexCheckers, BlinktreeDetectsSeparatorDisorder)
+{
+    IndexRig rig("blinktree");
+    const Addr hdr = rig.sys.peek<Addr>(rig.sys.rootSlotAddr(9));
+    const Addr root = rig.sys.peek<Addr>(hdr + 0);
+    ASSERT_EQ(rig.sys.peek<std::uint64_t>(root + 0), 1u)
+        << "trace left a single-leaf tree";
+    rig.clobber(root + 32, ~std::uint64_t{0} - 1);  // first separator
+    EXPECT_FALSE(rig.consistent());
+}
+
+TEST(IndexCheckers, BlinktreeDetectsCountDrift)
+{
+    IndexRig rig("blinktree");
+    const Addr hdr = rig.sys.peek<Addr>(rig.sys.rootSlotAddr(9));
+    rig.clobber(hdr + 8, 9999);
+    EXPECT_FALSE(rig.consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, IndexDifferential,
+                         ::testing::ValuesIn(indexWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(Indexes, IndexCrash,
+                         ::testing::ValuesIn(indexWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(Indexes, IndexDeterminism,
+                         ::testing::ValuesIn(indexWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(Indexes, IndexCompilerRun,
+                         ::testing::ValuesIn(indexWorkloads()),
+                         [](const auto &info) {
+                             return testName(info.param);
+                         });
+
+} // namespace
+} // namespace slpmt
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -76,6 +76,25 @@ TEST(McCrashSweep, FgUndoTwoCores)
     expectCleanSweep(SchemeKind::FG, LoggingStyle::Undo, 2);
 }
 
+/** The log-free index structures under interleaved multi-core crash
+ *  sweeps: machine-wide power failures must still leave exactly the
+ *  per-op committed effects, publication stores included. */
+TEST(McCrashSweep, IndexStructuresSurviveInterleavedCrashes)
+{
+    for (const std::string workload : {"skiplist", "blinktree"}) {
+        McCrashSweepConfig cfg =
+            sweepConfig(SchemeKind::SLPMT, LoggingStyle::Undo, 2);
+        cfg.run.workload = workload;
+        cfg.run.opsPerCore = 20;
+        cfg.maxPoints = 10;
+        const McCrashSweepReport report = runMcCrashSweep(cfg);
+        EXPECT_GT(report.traceStores, 0u) << workload;
+        EXPECT_GT(report.pointsExplored(), 2u) << workload;
+        EXPECT_EQ(report.violationCount(), 0u)
+            << workload << ":\n" << report.violationsText();
+    }
+}
+
 TEST(McCrashSweep, ReproModeReplaysOnePoint)
 {
     const McCrashSweepConfig cfg =

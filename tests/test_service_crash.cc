@@ -79,6 +79,22 @@ TEST(ServiceCrash, RbtreeSweepExercisesHardwareReplay)
     EXPECT_GT(report.replayedRecordsTotal(), 0u);
 }
 
+/** The log-free index structures as service backends: sharded YCSB
+ *  traffic with mid-request power failures must recover to exactly
+ *  the acknowledged state on every shard. */
+TEST(ServiceCrash, IndexBackendsSurviveSampledSweeps)
+{
+    for (const std::string workload : {"skiplist", "blinktree"}) {
+        ServiceCrashConfig cfg = smallSweep(SchemeKind::SLPMT);
+        cfg.workload = workload;
+        cfg.maxPoints = 12;
+        const ServiceCrashSweepReport report =
+            runServiceCrashSweep(cfg);
+        expectClean(report);
+        EXPECT_GT(report.pointsExplored(), 2u) << workload;
+    }
+}
+
 TEST(ServiceCrash, SampledSweepRecoversUnderFineGrained)
 {
     expectClean(runServiceCrashSweep(smallSweep(SchemeKind::FG)));

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <map>
+#include <random>
 
 #include "core/pm_system.hh"
 #include "test_util.hh"
@@ -126,6 +127,84 @@ TEST(Workloads, LargerRunAllSchemesSpotCheck)
         EXPECT_TRUE(workload->checkConsistency(sys, &why))
             << name << ": " << why;
         EXPECT_EQ(workload->count(sys), 2000u) << name;
+    }
+}
+
+TEST(Workloads, RandomizedKvMixMatchesShadow)
+{
+    // Interleaved insert/update/remove/lookup fuzz over a small key
+    // space (forced collisions) against a std::map oracle. kv-ctree
+    // implements removal; kv-btree and kv-rtree inherit the
+    // "unsupported" default, so the oracle expects remove == false
+    // and keeps the key.
+    for (const auto &name : {std::string("kv-btree"),
+                             std::string("kv-ctree"),
+                             std::string("kv-rtree")}) {
+        const bool removable = name == "kv-ctree";
+        SystemConfig cfg;
+        cfg.scheme = SchemeConfig::forKind(SchemeKind::SLPMT);
+        PmSystem sys(cfg);
+        auto workload = makeWorkload(name);
+        workload->setup(sys);
+
+        std::map<std::uint64_t, std::vector<std::uint8_t>> shadow;
+        std::mt19937_64 rng(name.size() * 131 + 7);
+        std::vector<std::uint8_t> got;
+        for (std::size_t i = 0; i < 600; ++i) {
+            const std::uint64_t key = rng() % 97 + 1;
+            const std::uint64_t roll = rng() % 100;
+            if (roll < 40) {
+                const auto value =
+                    ycsbValueFor(key ^ (i << 8), 24);
+                if (shadow.count(key)) {
+                    EXPECT_TRUE(workload->update(sys, key, value))
+                        << name << " op " << i;
+                } else {
+                    workload->insert(sys, key, value);
+                }
+                shadow[key] = value;
+            } else if (roll < 60) {
+                const bool removed = workload->remove(sys, key);
+                EXPECT_EQ(removed, removable && shadow.count(key))
+                    << name << " op " << i;
+                if (removed)
+                    shadow.erase(key);
+            } else if (roll < 70) {
+                // Update of a key that may be absent: no-op then.
+                const auto value =
+                    ycsbValueFor(~key ^ i, 24);
+                const bool updated =
+                    workload->update(sys, key, value);
+                EXPECT_EQ(updated, shadow.count(key) != 0)
+                    << name << " op " << i;
+                if (updated)
+                    shadow[key] = value;
+            } else {
+                const bool found = workload->lookup(sys, key, &got);
+                ASSERT_EQ(found, shadow.count(key) != 0)
+                    << name << " op " << i;
+                if (found) {
+                    EXPECT_EQ(got, shadow[key])
+                        << name << " op " << i;
+                }
+            }
+            if ((i + 1) % 150 == 0) {
+                std::string why;
+                ASSERT_TRUE(workload->checkConsistency(sys, &why))
+                    << name << " op " << i << ": " << why;
+                ASSERT_EQ(workload->count(sys), shadow.size())
+                    << name << " op " << i;
+            }
+        }
+        std::string why;
+        EXPECT_TRUE(workload->checkConsistency(sys, &why))
+            << name << ": " << why;
+        EXPECT_EQ(workload->count(sys), shadow.size()) << name;
+        for (const auto &kv : shadow) {
+            ASSERT_TRUE(workload->lookup(sys, kv.first, &got))
+                << name << " key " << kv.first;
+            EXPECT_EQ(got, kv.second) << name << " key " << kv.first;
+        }
     }
 }
 
