@@ -9,11 +9,47 @@
  * 3 baseline regression beyond the threshold.
  */
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 
 #include "sim/figures.hh"
+
+namespace
+{
+
+/** Host heap-allocation tally feeding the profile's "speed" section.
+ *  Relaxed: the count only needs to be monotonic and complete, and
+ *  the worker pools must not serialize on it. */
+std::atomic<std::uint64_t> allocation_count{0};
+
+} // namespace
+
+// Count every scalar allocation; the default operator new[] routes
+// through this overload, so array allocations are tallied too.
+void *
+operator new(std::size_t size)
+{
+    allocation_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace
 {
@@ -56,6 +92,10 @@ usage(const char *prog)
 int
 main(int argc, char **argv)
 {
+    slpmt::setAllocationCounter([] {
+        return allocation_count.load(std::memory_order_relaxed);
+    });
+
     slpmt::BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];

@@ -5,13 +5,33 @@
  * CacheHierarchy decides what happens to victims and how metadata
  * moves between levels.
  *
- * The array also owns the level's metadata line index: an intrusive
- * doubly-linked list threading through the CacheLine frames that
- * currently carry transactional metadata (persist bit, log bits, or
- * an owning transaction ID). Transaction-boundary sweeps walk the
- * index instead of scanning every frame, making them O(working set);
- * syncMetaIndex() must be called after any mutation that may change a
- * frame's valid-and-has-metadata state.
+ * Storage is structure-of-arrays: the CacheLine frames hold the
+ * architectural per-line state (tag, MESI state, SLPMT metadata, data
+ * bytes), while everything the lookup and replacement loops scan is
+ * hoisted into sibling arrays indexed by frame id —
+ *
+ *  - probeKeys: the line's tag when the frame is valid, a sentinel
+ *    that can never equal a line base otherwise. find() and
+ *    victimFor() scan only this array (a whole 8-way set's keys fit
+ *    in one 64-byte hardware line) instead of striding over ~88-byte
+ *    CacheLine objects;
+ *  - lastUses: the LRU timestamps consulted by victimFor();
+ *  - metaPrev/metaNext/metaLinked: the metadata line index as
+ *    index-based links (previously pointers threaded through the
+ *    frames).
+ *
+ * Frames never move, so CacheLine pointers handed out by find() stay
+ * stable. The probe keys are derived state: any mutation of a frame's
+ * tag or validity must go through fillFrame()/invalidateFrame() (or
+ * call syncProbeKey() after the fact) to keep the key array coherent;
+ * checkProbeKeys() audits the invariant against a brute-force scan.
+ *
+ * The array also owns the level's metadata line index, linking the
+ * frames that currently carry transactional metadata (persist bit,
+ * log bits, or an owning transaction ID). Transaction-boundary sweeps
+ * walk the index instead of scanning every frame, making them
+ * O(working set); syncMetaIndex() must be called after any mutation
+ * that may change a frame's valid-and-has-metadata state.
  */
 
 #ifndef SLPMT_CACHE_CACHE_HH
@@ -19,7 +39,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <span>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,10 +64,26 @@ struct CacheConfig
 class Cache
 {
   public:
+    /** find() miss / no-frame marker. */
+    static constexpr std::size_t npos =
+        std::numeric_limits<std::size_t>::max();
+
+    /**
+     * Probe key of an invalid frame. Line bases are 64-byte aligned,
+     * so the all-ones pattern can never match one and the probe loop
+     * needs no separate valid test.
+     */
+    static constexpr Addr invalidKey = ~Addr{0};
+
     explicit Cache(const CacheConfig &cfg)
         : config(cfg),
           numSets(cfg.sizeBytes / cacheLineSize / cfg.ways),
-          lines(numSets * cfg.ways)
+          lines(numSets * cfg.ways),
+          probeKeys(lines.size(), invalidKey),
+          lastUses(lines.size(), 0),
+          metaPrev(lines.size(), -1),
+          metaNext(lines.size(), -1),
+          metaLinked(lines.size(), 0)
     {
         panicIfNot(numSets > 0 && (numSets & (numSets - 1)) == 0,
                    config.name + ": set count must be a power of two");
@@ -58,27 +94,52 @@ class Cache
     std::size_t sets() const { return numSets; }
     std::size_t ways() const { return config.ways; }
 
+    /**
+     * The single probe loop behind both find() overloads (and the
+     * only place that scans for a tag): frame id of the valid line
+     * holding @p addr's cache line, or npos.
+     */
+    std::size_t
+    findFrame(Addr addr) const
+    {
+        const Addr base = lineBase(addr);
+        const std::size_t first = setFirstFrame(base);
+        const Addr *keys = probeKeys.data() + first;
+        for (std::size_t w = 0; w < config.ways; ++w) {
+            if (keys[w] == base)
+                return first + w;
+        }
+        return npos;
+    }
+
+    /**
+     * findFrame() with an MRU hint: if @p hint's probe key matches,
+     * the set scan is skipped entirely. Probe keys are unique per
+     * resident line, so a matching hint — however stale — names the
+     * one frame holding the line; a stale non-matching hint just
+     * falls back to the scan. @p hint must be any in-range frame id.
+     */
+    std::size_t
+    findFrameHinted(Addr addr, std::size_t hint) const
+    {
+        if (probeKeys[hint] == lineBase(addr))
+            return hint;
+        return findFrame(addr);
+    }
+
     /** Find a valid line holding @p addr's cache line, or nullptr. */
     CacheLine *
     find(Addr addr)
     {
-        const Addr base = lineBase(addr);
-        for (auto &line : setOf(base)) {
-            if (line.valid() && line.tag == base)
-                return &line;
-        }
-        return nullptr;
+        const std::size_t f = findFrame(addr);
+        return f == npos ? nullptr : &lines[f];
     }
 
     const CacheLine *
     find(Addr addr) const
     {
-        const Addr base = lineBase(addr);
-        for (const auto &line : setOf(base)) {
-            if (line.valid() && line.tag == base)
-                return &line;
-        }
-        return nullptr;
+        const std::size_t f = findFrame(addr);
+        return f == npos ? nullptr : &lines[f];
     }
 
     /**
@@ -93,19 +154,105 @@ class Cache
     CacheLine &
     victimFor(Addr addr)
     {
-        auto set = setOf(lineBase(addr));
-        CacheLine *victim = &set[0];
-        for (auto &line : set) {
-            if (!line.valid())
-                return line;
-            if (line.lastUse < victim->lastUse)
-                victim = &line;
+        const std::size_t first = setFirstFrame(lineBase(addr));
+        const Addr *keys = probeKeys.data() + first;
+        const std::uint64_t *uses = lastUses.data() + first;
+        std::size_t victim = 0;
+        for (std::size_t w = 0; w < config.ways; ++w) {
+            if (keys[w] == invalidKey)
+                return lines[first + w];
+            if (uses[w] < uses[victim])
+                victim = w;
         }
-        return *victim;
+        return lines[first + victim];
     }
 
+    /** The frame behind a findFrame() id. */
+    CacheLine &lineAt(std::size_t frame) { return lines[frame]; }
+
     /** Bump a line's LRU timestamp. */
-    void touch(CacheLine &line) { line.lastUse = ++useClock; }
+    void touch(CacheLine &line) { lastUses[frameIndex(line)] = ++useClock; }
+
+    /** touch() by frame id — skips the pointer-difference lookup when
+     *  the caller already holds the findFrame() result. */
+    void touchFrame(std::size_t frame) { lastUses[frame] = ++useClock; }
+
+    /** A frame's LRU timestamp (tests / diagnostics). */
+    std::uint64_t lastUse(const CacheLine &line) const
+    {
+        return lastUses[frameIndex(line)];
+    }
+
+    /** @name Probe-key maintenance */
+    /** @{ */
+
+    /** Frame id of @p line, which must be a frame of this array. */
+    std::size_t
+    frameIndex(const CacheLine &line) const
+    {
+        return static_cast<std::size_t>(&line - lines.data());
+    }
+
+    /**
+     * Re-derive @p line's probe key after a tag or validity change.
+     * fillFrame()/invalidateFrame() call this implicitly; direct field
+     * writes must follow up with it.
+     */
+    void
+    syncProbeKey(CacheLine &line)
+    {
+        probeKeys[frameIndex(line)] = line.valid() ? line.tag : invalidKey;
+    }
+
+    /**
+     * Begin filling a frame with a new identity: sets the tag and
+     * coherence state and publishes the probe key. The caller fills
+     * dirty/metadata/data afterwards.
+     */
+    void
+    fillFrame(CacheLine &line, Addr tag, MesiState state)
+    {
+        line.tag = tag;
+        line.state = state;
+        probeKeys[frameIndex(line)] = tag;
+    }
+
+    /**
+     * Invalidate a frame and retract its probe key, making it
+     * invisible to find()/victimFor() immediately — required before
+     * any eviction recursion that may probe this array. The metadata
+     * index is NOT resynced here; levels that keep one call
+     * syncMetaIndex() separately (L3 keeps none).
+     */
+    void
+    invalidateFrame(CacheLine &line)
+    {
+        line.invalidate();
+        probeKeys[frameIndex(line)] = invalidKey;
+    }
+
+    /**
+     * Audit the probe-key array against the frames: every key must be
+     * the frame's tag when valid and the sentinel when not. @return
+     * false with a diagnostic in @p why on the first violation.
+     */
+    bool
+    checkProbeKeys(std::string *why) const
+    {
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const Addr expect =
+                lines[i].valid() ? lines[i].tag : invalidKey;
+            if (probeKeys[i] != expect) {
+                if (why)
+                    *why = config.name + ": frame " + std::to_string(i) +
+                           " probe key " + std::to_string(probeKeys[i]) +
+                           " != expected " + std::to_string(expect);
+                return false;
+            }
+        }
+        return true;
+    }
+    /** @} */
 
     /**
      * Apply @p fn to every valid line (full-array scans: flush,
@@ -126,13 +273,12 @@ class Cache
     void
     invalidateAll()
     {
-        for (auto &line : lines) {
+        for (auto &line : lines)
             line.invalidate();
-            line.metaPrev = nullptr;
-            line.metaNext = nullptr;
-            line.metaLinked = false;
-        }
-        metaHead = nullptr;
+        std::fill(probeKeys.begin(), probeKeys.end(), invalidKey);
+        std::fill(metaLinked.begin(), metaLinked.end(),
+                  static_cast<std::uint8_t>(0));
+        metaHead = -1;
         metaCount = 0;
     }
 
@@ -167,27 +313,29 @@ class Cache
     void
     syncMetaIndex(CacheLine &line)
     {
+        const std::int32_t i =
+            static_cast<std::int32_t>(frameIndex(line));
         const bool should = line.valid() && line.hasTxnMeta();
-        if (should == line.metaLinked)
+        if (should == (metaLinked[i] != 0))
             return;
         if (should) {
-            line.metaPrev = nullptr;
-            line.metaNext = metaHead;
-            if (metaHead)
-                metaHead->metaPrev = &line;
-            metaHead = &line;
-            line.metaLinked = true;
+            metaPrev[i] = -1;
+            metaNext[i] = metaHead;
+            if (metaHead >= 0)
+                metaPrev[metaHead] = i;
+            metaHead = i;
+            metaLinked[i] = 1;
             ++metaCount;
         } else {
-            if (line.metaPrev)
-                line.metaPrev->metaNext = line.metaNext;
+            if (metaPrev[i] >= 0)
+                metaNext[metaPrev[i]] = metaNext[i];
             else
-                metaHead = line.metaNext;
-            if (line.metaNext)
-                line.metaNext->metaPrev = line.metaPrev;
-            line.metaPrev = nullptr;
-            line.metaNext = nullptr;
-            line.metaLinked = false;
+                metaHead = metaNext[i];
+            if (metaNext[i] >= 0)
+                metaPrev[metaNext[i]] = metaPrev[i];
+            metaPrev[i] = -1;
+            metaNext[i] = -1;
+            metaLinked[i] = 0;
             --metaCount;
         }
     }
@@ -205,8 +353,8 @@ class Cache
     collectMetaLines(std::vector<CacheLine *> &out)
     {
         const std::size_t first = out.size();
-        for (CacheLine *line = metaHead; line; line = line->metaNext)
-            out.push_back(line);
+        for (std::int32_t i = metaHead; i >= 0; i = metaNext[i])
+            out.push_back(&lines[i]);
         std::sort(out.begin() + first, out.end());
     }
 
@@ -220,9 +368,10 @@ class Cache
     checkMetaIndex(std::string *why) const
     {
         std::size_t expect = 0;
-        for (const auto &line : lines) {
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const CacheLine &line = lines[i];
             const bool should = line.valid() && line.hasTxnMeta();
-            if (should != line.metaLinked) {
+            if (should != (metaLinked[i] != 0)) {
                 if (why)
                     *why = config.name + ": frame for tag " +
                            std::to_string(line.tag) +
@@ -233,10 +382,9 @@ class Cache
             expect += should ? 1 : 0;
         }
         std::size_t reached = 0;
-        for (const CacheLine *line = metaHead; line;
-             line = line->metaNext) {
-            if (!owns(line) || !line->metaLinked ||
-                reached++ > lines.size()) {
+        for (std::int32_t i = metaHead; i >= 0; i = metaNext[i]) {
+            if (i >= static_cast<std::int32_t>(lines.size()) ||
+                !metaLinked[i] || reached++ > lines.size()) {
                 if (why)
                     *why = config.name + ": corrupt meta list node";
                 return false;
@@ -252,6 +400,14 @@ class Cache
         }
         return true;
     }
+
+    /** Test hook: force a frame's linked flag without touching the
+     *  list, to exercise the audit's divergence detection. */
+    void
+    setMetaLinkedForTest(CacheLine &line, bool linked)
+    {
+        metaLinked[frameIndex(line)] = linked ? 1 : 0;
+    }
     /** @} */
 
     /** @name Checkpointing */
@@ -261,7 +417,9 @@ class Cache
      * Serialize the replacement clock and every valid frame (absolute
      * frame index + architectural fields). Invalid frames carry no
      * observable state — victimFor() prefers any invalid way before
-     * consulting timestamps — so they are omitted.
+     * consulting timestamps — so they are omitted. The blob layout is
+     * identical to the array-of-structs era: the probe keys and index
+     * links are derived state and are rebuilt on restore.
      */
     void
     saveState(BlobWriter &w) const
@@ -283,14 +441,15 @@ class Cache
             w.u<std::uint8_t>(line.logBits);
             w.u<std::uint8_t>(line.txnId);
             w.u<std::uint64_t>(line.txnSeq);
-            w.u<std::uint64_t>(line.lastUse);
+            w.u<std::uint64_t>(lastUses[i]);
             w.bytes(line.data.data(), line.data.size());
         }
     }
 
     /**
      * Restore into this (same-geometry) array: invalidate everything,
-     * then rebuild the saved frames and re-link the metadata index.
+     * then rebuild the saved frames and re-derive the probe keys and
+     * the metadata index.
      */
     void
     restoreState(BlobReader &r)
@@ -315,37 +474,45 @@ class Cache
             line.logBits = r.u<std::uint8_t>();
             line.txnId = r.u<std::uint8_t>();
             line.txnSeq = r.u<std::uint64_t>();
-            line.lastUse = r.u<std::uint64_t>();
+            lastUses[static_cast<std::size_t>(idx)] =
+                r.u<std::uint64_t>();
             r.bytes(line.data.data(), line.data.size());
+            syncProbeKey(line);
             syncMetaIndex(line);
         }
     }
     /** @} */
 
   private:
-    std::span<CacheLine>
-    setOf(Addr base)
+    /** First frame id of @p base's set (the probe window start). */
+    std::size_t
+    setFirstFrame(Addr base) const
     {
         const std::size_t index =
-            static_cast<std::size_t>(base / cacheLineSize) & (numSets - 1);
-        return {lines.data() + index * config.ways, config.ways};
-    }
-
-    std::span<const CacheLine>
-    setOf(Addr base) const
-    {
-        const std::size_t index =
-            static_cast<std::size_t>(base / cacheLineSize) & (numSets - 1);
-        return {lines.data() + index * config.ways, config.ways};
+            static_cast<std::size_t>(base / cacheLineSize) &
+            (numSets - 1);
+        return index * config.ways;
     }
 
     CacheConfig config;
     std::size_t numSets;
+
+    /** The frames (cold per-line state; stable addresses). */
     std::vector<CacheLine> lines;
+
+    /** @name Hot sibling arrays, indexed by frame id */
+    /** @{ */
+    std::vector<Addr> probeKeys;           //!< tag or invalidKey
+    std::vector<std::uint64_t> lastUses;   //!< LRU timestamps
+    std::vector<std::int32_t> metaPrev;    //!< meta index links (-1 end)
+    std::vector<std::int32_t> metaNext;
+    std::vector<std::uint8_t> metaLinked;  //!< frame is on the list
+    /** @} */
+
     std::uint64_t useClock = 0;
 
-    /** Head of the unordered intrusive metadata line list. */
-    CacheLine *metaHead = nullptr;
+    /** Head frame id of the unordered metadata line list (-1 empty). */
+    std::int32_t metaHead = -1;
     std::size_t metaCount = 0;
 };
 

@@ -9,6 +9,15 @@
  *    granularity in L2, none in L3);
  *  - a 2-bit transaction ID naming the core-local transaction that
  *    last updated the line, used by lazy persistency.
+ *
+ * The struct holds only the per-line architectural state. Everything
+ * the replacement and lookup loops scan — the probe keys (tag-or-
+ * sentinel), the LRU timestamps, and the metadata line index links —
+ * lives in structure-of-arrays form inside Cache, indexed by frame id,
+ * so the hot loops stride over small contiguous arrays instead of
+ * pulling a whole CacheLine per way. Clients keep holding CacheLine
+ * pointers and detached CacheLine copies; those stay valid because the
+ * frames themselves never move.
  */
 
 #ifndef SLPMT_CACHE_CACHE_LINE_HH
@@ -44,27 +53,22 @@ struct CacheLine
     bool persistBit = false;      //!< persist at commit (Table I)
     std::uint8_t logBits = 0;     //!< per-word (L1) / per-32B (L2) map
     std::uint8_t txnId = noTxnId; //!< owning core-local transaction
+
     std::uint64_t txnSeq = 0;     //!< global sequence of owning txn
 
-    std::uint64_t lastUse = 0;    //!< LRU timestamp
-    std::array<std::uint8_t, cacheLineSize> data{};
-
     /**
-     * @name Metadata line index (intrusive)
-     *
-     * L1 and L2 thread a doubly-linked list through their frames so
-     * transaction-boundary sweeps visit only lines that actually carry
-     * metadata — O(working set) instead of O(cache capacity). The list
-     * is owned by the level's Cache (see Cache::syncMetaIndex()); the
-     * links are meaningless for detached CacheLine copies and for L3
-     * frames, which never carry metadata. Field-wise copies used for
-     * data movement between levels deliberately leave them untouched.
+     * Deliberately NOT zero-initialized: an invalid frame's data is
+     * never observed (fills overwrite the whole line, checkpointing
+     * skips invalid frames), and cache arrays are constructed per
+     * simulated machine — crash sweeps build thousands — so the
+     * megabytes of memset were a measurable constructor cost. The
+     * user-provided constructor keeps value-initialization from
+     * zeroing the array while the other members still get their
+     * default member initializers.
      */
-    /** @{ */
-    CacheLine *metaPrev = nullptr;
-    CacheLine *metaNext = nullptr;
-    bool metaLinked = false;
-    /** @} */
+    std::array<std::uint8_t, cacheLineSize> data;
+
+    CacheLine() {}  // NOLINT: see data
 
     bool valid() const { return state != MesiState::Invalid; }
 
@@ -90,7 +94,12 @@ struct CacheLine
         txnSeq = 0;
     }
 
-    /** Reset to an invalid line. */
+    /**
+     * Reset to an invalid line. When the line is a frame of a Cache
+     * array (not a detached copy), the owning cache's probe key must
+     * be dropped too — prefer Cache::invalidateFrame(), which does
+     * both.
+     */
     void
     invalidate()
     {

@@ -40,25 +40,16 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
       statL3Misses(stats.counter("cache.l3Misses")),
       statWritebacks(stats.counter("cache.writebacks")),
       statPrivateEvictions(stats.counter("cache.privateEvictions")),
-      statLogBitAggrLossy(stats.counter("cache.logBitAggrLossy"))
+      statLogBitAggrLossy(stats.counter("cache.logBitAggrLossy")),
+      statMetaWalks(stats.counter("cache.metaWalks"))
 {
 }
 
 AccessResult
-CacheHierarchy::access(Addr addr, bool is_write, Cycles now)
+CacheHierarchy::accessMiss(Addr addr, bool is_write, Cycles now)
 {
     addrMap.checkMapped(addr);
     Cycles latency = l1Cache.hitLatency();
-
-    if (CacheLine *line = l1Cache.find(addr)) {
-        statL1Hits++;
-        l1Cache.touch(*line);
-        if (is_write) {
-            line->dirty = true;
-            line->state = MesiState::Modified;
-        }
-        return {line, latency};
-    }
     statL1Misses++;
 
     latency += ensureInL2(addr, now);
@@ -91,11 +82,10 @@ CacheHierarchy::ensureInL2(Addr addr, Cycles now)
         CacheLine &frame = l3Ptr->victimFor(addr);
         if (frame.valid()) {
             CacheLine victim = frame;  // copy: eviction may recurse
-            frame.invalidate();
+            l3Ptr->invalidateFrame(frame);
             latency += evictFromL3(victim, now);
         }
-        frame.tag = lineBase(addr);
-        frame.state = MesiState::Exclusive;
+        l3Ptr->fillFrame(frame, lineBase(addr), MesiState::Exclusive);
         frame.dirty = false;
         frame.clearTxnMeta();
         if (addrMap.isPm(addr))
@@ -113,10 +103,10 @@ CacheHierarchy::ensureInL2(Addr addr, Cycles now)
     CacheLine &frame = l2Cache.victimFor(addr);
     if (frame.valid())
         latency += evictFromL2(frame, now);
-    frame.tag = lineBase(addr);
-    frame.state = l3_line->state == MesiState::Modified
-                      ? MesiState::Modified
-                      : MesiState::Exclusive;
+    l2Cache.fillFrame(frame, lineBase(addr),
+                      l3_line->state == MesiState::Modified
+                          ? MesiState::Modified
+                          : MesiState::Exclusive);
     frame.dirty = false;
     frame.clearTxnMeta();
     frame.data = l3_line->data;
@@ -132,8 +122,7 @@ CacheHierarchy::promoteToL1(CacheLine &l2_line, Cycles now,
     if (frame.valid())
         latency += evictFromL1(frame, now);
 
-    frame.tag = l2_line.tag;
-    frame.state = l2_line.state;
+    l1Cache.fillFrame(frame, l2_line.tag, l2_line.state);
     frame.dirty = false;
     frame.data = l2_line.data;
 
@@ -158,7 +147,7 @@ CacheHierarchy::evictFromL1(CacheLine &victim, Cycles now)
     panicIfNot(l2_line != nullptr, "inclusion violated: L1 line not in L2");
 
     std::uint8_t log_bits = victim.logBits;
-    if (speculativeRounding && evictClient) {
+    if (speculativeRounding && evictClientObj) {
         // Offer partially-set 4-bit groups for speculative rounding.
         std::uint8_t missing = 0;
         const std::uint8_t lo = log_bits & 0x0F;
@@ -169,7 +158,7 @@ CacheHierarchy::evictFromL1(CacheLine &victim, Cycles now)
             missing |= static_cast<std::uint8_t>((~hi & 0x0F) << 4);
         if (missing) {
             auto [cycles, rounded] =
-                evictClient->roundUpLogBits(victim, missing, now);
+                roundUpFn(evictClientObj, victim, missing, now);
             latency += cycles;
             log_bits |= rounded;
         }
@@ -188,7 +177,7 @@ CacheHierarchy::evictFromL1(CacheLine &victim, Cycles now)
     l2_line->txnSeq = victim.txnSeq;
     l2Cache.syncMetaIndex(*l2_line);
 
-    victim.invalidate();
+    l1Cache.invalidateFrame(victim);
     l1Cache.syncMetaIndex(victim);
     return latency;
 }
@@ -204,10 +193,10 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
 
     // Lines overflowing the private caches lose their metadata; give
     // the transaction engine a chance to flush logs / persist first.
-    if (evictClient &&
+    if (evictClientObj &&
         (victim.persistBit || victim.logBits || victim.txnId != noTxnId)) {
         statPrivateEvictions++;
-        latency += evictClient->evictingPrivateLine(victim, now);
+        latency += evictLineFn(evictClientObj, victim, now);
     }
     victim.clearTxnMeta();
     l2Cache.syncMetaIndex(victim);
@@ -219,11 +208,10 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
         CacheLine &frame = l3Ptr->victimFor(victim.tag);
         if (frame.valid()) {
             CacheLine old = frame;
-            frame.invalidate();
+            l3Ptr->invalidateFrame(frame);
             latency += evictFromL3(old, now);
         }
-        frame.tag = victim.tag;
-        frame.state = MesiState::Exclusive;
+        l3Ptr->fillFrame(frame, victim.tag, MesiState::Exclusive);
         frame.dirty = false;
         frame.clearTxnMeta();
         l3Ptr->touch(frame);
@@ -234,7 +222,7 @@ CacheHierarchy::evictFromL2(CacheLine &victim, Cycles now)
     if (victim.dirty)
         l3_line->state = MesiState::Modified;
 
-    victim.invalidate();
+    l2Cache.invalidateFrame(victim);
     return latency;
 }
 
@@ -248,14 +236,14 @@ CacheHierarchy::foldPrivateInto(CacheLine &victim, Cycles now)
     if (CacheLine *l2_copy = l2Cache.find(victim.tag)) {
         if (CacheLine *l1_copy = l1Cache.find(victim.tag))
             latency += evictFromL1(*l1_copy, now);
-        if (evictClient && (l2_copy->persistBit || l2_copy->logBits ||
-                            l2_copy->txnId != noTxnId)) {
+        if (evictClientObj && (l2_copy->persistBit || l2_copy->logBits ||
+                               l2_copy->txnId != noTxnId)) {
             statPrivateEvictions++;
-            latency += evictClient->evictingPrivateLine(*l2_copy, now);
+            latency += evictLineFn(evictClientObj, *l2_copy, now);
         }
         victim.data = l2_copy->data;
         victim.dirty = victim.dirty || l2_copy->dirty;
-        l2_copy->invalidate();
+        l2Cache.invalidateFrame(*l2_copy);
         l2Cache.syncMetaIndex(*l2_copy);
     }
     return latency;
@@ -265,8 +253,8 @@ Cycles
 CacheHierarchy::evictFromL3(CacheLine &victim, Cycles now)
 {
     Cycles latency = foldPrivateInto(victim, now);
-    if (remoteFolder)
-        latency += remoteFolder->foldRemotePrivate(*this, victim, now);
+    if (remoteFolderObj)
+        latency += foldRemoteFn(remoteFolderObj, *this, victim, now);
 
     if (victim.dirty) {
         statWritebacks++;
@@ -350,6 +338,9 @@ CacheHierarchy::auditMetaIndex() const
     std::string why;
     if (!l1Cache.checkMetaIndex(&why) || !l2Cache.checkMetaIndex(&why))
         panic("metadata line index diverged from full scan: " + why);
+    if (!l1Cache.checkProbeKeys(&why) || !l2Cache.checkProbeKeys(&why) ||
+        !l3Ptr->checkProbeKeys(&why))
+        panic("probe keys diverged from frame state: " + why);
 }
 
 Cycles
@@ -363,8 +354,9 @@ CacheHierarchy::persistPrivateLine(CacheLine &line, PersistKind kind,
     line.dirty = false;
 
     // Every lower-level copy now matches the durable image; sync them
-    // so they are not written back again later.
-    const bool in_l1 = l1Cache.find(line.tag) == &line;
+    // so they are not written back again later. A valid L1 frame is
+    // findable by construction, so ownership is the whole test.
+    const bool in_l1 = l1Cache.owns(&line);
     if (in_l1) {
         if (CacheLine *l2_copy = l2Cache.find(line.tag)) {
             l2_copy->data = line.data;
@@ -382,15 +374,15 @@ void
 CacheHierarchy::invalidateLineEverywhere(Addr addr)
 {
     if (CacheLine *line = l1Cache.find(addr)) {
-        line->invalidate();
+        l1Cache.invalidateFrame(*line);
         l1Cache.syncMetaIndex(*line);
     }
     if (CacheLine *line = l2Cache.find(addr)) {
-        line->invalidate();
+        l2Cache.invalidateFrame(*line);
         l2Cache.syncMetaIndex(*line);
     }
     if (CacheLine *line = l3Ptr->find(addr))
-        line->invalidate();
+        l3Ptr->invalidateFrame(*line);
 }
 
 void
@@ -425,7 +417,7 @@ CacheHierarchy::flushShared(Cycles now)
     Cycles latency = 0;
     l3Ptr->forEachValid([&](CacheLine &line) {
         CacheLine victim = line;
-        line.invalidate();
+        l3Ptr->invalidateFrame(line);
         latency += evictFromL3(victim, now);
     });
     return latency;

@@ -15,14 +15,16 @@
  * metadata, per Section III-B1.
  *
  * The transaction engine observes lines leaving the private caches
- * through EvictionClient so it can flush their log-buffer records and
- * persist them when required (Section III-A).
+ * through the devirtualized eviction-client hook (setEvictionClient)
+ * so it can flush their log-buffer records and persist them when
+ * required (Section III-A).
  */
 
 #ifndef SLPMT_CACHE_HIERARCHY_HH
 #define SLPMT_CACHE_HIERARCHY_HH
 
 #include <memory>
+#include <utility>
 
 #include "cache/cache.hh"
 #include "stats/stats.hh"
@@ -41,61 +43,7 @@ struct HierarchyConfig
     CacheConfig l3{"L3", 2 * 1024 * 1024, 16, 40};
 };
 
-/**
- * Observer of lines leaving the private (L1+L2) caches while carrying
- * transactional metadata. Implemented by the transaction engine.
- */
-class EvictionClient
-{
-  public:
-    virtual ~EvictionClient() = default;
-
-    /**
-     * A line with transactional metadata is about to overflow from L2
-     * to L3. The client must flush any buffered log records for it and
-     * persist the line if its metadata demands so; afterwards the
-     * metadata is discarded (L3 holds none).
-     *
-     * @return extra cycles the eviction spent.
-     */
-    virtual Cycles evictingPrivateLine(CacheLine &line, Cycles now) = 0;
-
-    /**
-     * An L1 line is merging down into L2 and a 4-word log-bit group is
-     * partially set. The client may speculatively log the clean words
-     * to round the group up (Section III-B1 optimisation).
-     *
-     * @param missing_words word-index bitmap of unlogged words in
-     *        partially-logged groups
-     * @return pair {cycles spent, words actually logged bitmap}
-     */
-    virtual std::pair<Cycles, std::uint8_t>
-    roundUpLogBits(CacheLine &line, std::uint8_t missing_words,
-                   Cycles now) = 0;
-};
-
 class CacheHierarchy;
-
-/**
- * Multicore hook: when a shared-L3 victim is evicted, private copies
- * may live in *other* cores' L1/L2. The multicore machine implements
- * this to fold those copies into the departing victim (running each
- * owner's EvictionClient for metadata-bearing lines) before the
- * writeback. Single-core hierarchies leave it unset.
- */
-class RemoteLineFolder
-{
-  public:
-    virtual ~RemoteLineFolder() = default;
-
-    /**
-     * Fold every other core's private copy of @p victim into it.
-     * @param evictor the hierarchy performing the L3 eviction
-     * @return extra cycles charged to the evicting core
-     */
-    virtual Cycles foldRemotePrivate(CacheHierarchy &evictor,
-                                     CacheLine &victim, Cycles now) = 0;
-};
 
 /** Result of one hierarchy access. */
 struct AccessResult
@@ -117,16 +65,95 @@ class CacheHierarchy
                    PmDevice &pm, DramDevice &dram, StatsRegistry &stats,
                    Cache &shared_l3);
 
-    void setEvictionClient(EvictionClient *client) { evictClient = client; }
+    /**
+     * Wire the observer of lines leaving the private (L1+L2) caches
+     * while carrying transactional metadata — the transaction engine.
+     * The client provides two non-virtual members:
+     *
+     *  - `Cycles evictingPrivateLine(CacheLine &, Cycles)`: a line
+     *    with transactional metadata is about to overflow from L2 to
+     *    L3; flush its buffered log records and persist it if the
+     *    metadata demands so (the metadata is then discarded — L3
+     *    holds none). Returns extra cycles spent.
+     *  - `std::pair<Cycles, std::uint8_t> roundUpLogBits(CacheLine &,
+     *    std::uint8_t missing_words, Cycles)`: an L1 line is merging
+     *    down into L2 with a 4-word log-bit group partially set; the
+     *    client may speculatively log the clean words to round the
+     *    group up (Section III-B1). Returns {cycles, words logged}.
+     *
+     * Dispatch is through function pointers specialised on the
+     * concrete client type here — devirtualized: the per-event calls
+     * carry no vtable load and no multiple-inheritance thunks.
+     */
+    template <typename Client>
+    void
+    setEvictionClient(Client *client)
+    {
+        evictClientObj = client;
+        evictLineFn = [](void *obj, CacheLine &line, Cycles now) {
+            return static_cast<Client *>(obj)->evictingPrivateLine(line,
+                                                                   now);
+        };
+        roundUpFn = [](void *obj, CacheLine &line, std::uint8_t missing,
+                       Cycles now) {
+            return static_cast<Client *>(obj)->roundUpLogBits(
+                line, missing, now);
+        };
+    }
 
-    /** Multicore hook for cross-core folds on shared-L3 evictions. */
-    void setRemoteFolder(RemoteLineFolder *f) { remoteFolder = f; }
+    /**
+     * Multicore hook for cross-core folds on shared-L3 evictions:
+     * when a shared-L3 victim departs, private copies may live in
+     * *other* cores' L1/L2, and the multicore machine folds them into
+     * the victim (running each owner's eviction client for metadata-
+     * bearing lines) before the writeback. The folder provides a
+     * non-virtual `Cycles foldRemotePrivate(CacheHierarchy &evictor,
+     * CacheLine &victim, Cycles now)` member; dispatch is the same
+     * devirtualized thunk scheme as setEvictionClient(). Single-core
+     * hierarchies leave it unset.
+     */
+    template <typename Folder>
+    void
+    setRemoteFolder(Folder *f)
+    {
+        remoteFolderObj = f;
+        foldRemoteFn = [](void *obj, CacheHierarchy &evictor,
+                          CacheLine &victim, Cycles now) {
+            return static_cast<Folder *>(obj)->foldRemotePrivate(
+                evictor, victim, now);
+        };
+    }
 
     /** Enable the Section III-B1 speculative log-rounding option. */
     void setSpeculativeRounding(bool on) { speculativeRounding = on; }
 
-    /** Access one cache line, filling it into L1. */
-    AccessResult access(Addr addr, bool is_write, Cycles now);
+    /**
+     * Access one cache line, filling it into L1.
+     *
+     * The L1-hit path is inline — it is the single hottest operation
+     * in the simulator (every load/store chunk lands here) and on a
+     * hit touches only the probe-key and LRU arrays. The mapped-range
+     * check runs on the miss path only: an unmapped address can never
+     * be resident (its first fill would have panicked), so a hit
+     * proves the address mapped.
+     */
+    AccessResult
+    access(Addr addr, bool is_write, Cycles now)
+    {
+        const std::size_t f = l1Cache.findFrameHinted(addr, l1Mru);
+        if (f != Cache::npos) {
+            l1Mru = f;
+            statL1Hits++;
+            CacheLine &line = l1Cache.lineAt(f);
+            l1Cache.touchFrame(f);
+            if (is_write) {
+                line.dirty = true;
+                line.state = MesiState::Modified;
+            }
+            return {&line, l1Cache.hitLatency()};
+        }
+        return accessMiss(addr, is_write, now);
+    }
 
     /** Byte-granular read that may span lines. */
     Cycles readBytes(Addr addr, void *out, std::size_t len, Cycles now);
@@ -160,6 +187,7 @@ class CacheHierarchy
     void
     forEachPrivate(Fn &&fn)
     {
+        statMetaWalks++;
         if (!metaIndexEnabled) {
             l1Cache.forEachValid(fn);
             l2Cache.forEachValid([&](CacheLine &line) {
@@ -170,7 +198,13 @@ class CacheHierarchy
         }
         if (metaIndexAudit)
             auditMetaIndex();
-        std::vector<CacheLine *> snapshot;
+        // Move the scratch buffer out for the walk and put it back
+        // after: the capacity is reused across walks (no per-walk
+        // allocation), and a re-entrant walk — fn reaching another
+        // forEachPrivate — simply finds an empty scratch and
+        // allocates its own.
+        std::vector<CacheLine *> snapshot = std::move(walkScratch);
+        snapshot.clear();
         snapshot.reserve(l1Cache.metaLineCount() +
                          l2Cache.metaLineCount());
         l1Cache.collectMetaLines(snapshot);
@@ -184,6 +218,7 @@ class CacheHierarchy
                 continue;
             fn(*snapshot[i]);
         }
+        walkScratch = std::move(snapshot);
     }
 
     /**
@@ -254,7 +289,7 @@ class CacheHierarchy
     /**
      * Coherence transfer: give up this core's private copy of a line,
      * merging data and transactional metadata down into the shared L3
-     * exactly as a capacity eviction would (the EvictionClient flushes
+     * exactly as a capacity eviction would (the eviction client flushes
      * log records / persists when the metadata demands it — the
      * paper's L1<->L2 aggregation rules apply unchanged on the way
      * down). No-op when the line is not privately cached.
@@ -263,7 +298,7 @@ class CacheHierarchy
 
     /**
      * Fold this hierarchy's private copy of @p victim (a detached
-     * shared-L3 victim) into it, running the EvictionClient for
+     * shared-L3 victim) into it, running the eviction client for
      * metadata-bearing lines. Public so the multicore machine can fold
      * *other* cores' copies during a shared-L3 eviction.
      */
@@ -276,6 +311,9 @@ class CacheHierarchy
   private:
     /** Panic if the metadata line index diverges from a full scan. */
     void auditMetaIndex() const;
+
+    /** The L1-miss tail of access(): fills and metadata movement. */
+    AccessResult accessMiss(Addr addr, bool is_write, Cycles now);
 
     /** Ensure the line is resident in L2+L3; returns fill latency. */
     Cycles ensureInL2(Addr addr, Cycles now);
@@ -307,9 +345,23 @@ class CacheHierarchy
     std::unique_ptr<Cache> ownedL3;
     Cache *l3Ptr;
 
-    EvictionClient *evictClient = nullptr;
-    RemoteLineFolder *remoteFolder = nullptr;
+    /** Devirtualized client/folder dispatch (see the setters). */
+    void *evictClientObj = nullptr;
+    Cycles (*evictLineFn)(void *, CacheLine &, Cycles) = nullptr;
+    std::pair<Cycles, std::uint8_t> (*roundUpFn)(void *, CacheLine &,
+                                                 std::uint8_t,
+                                                 Cycles) = nullptr;
+    void *remoteFolderObj = nullptr;
+    Cycles (*foldRemoteFn)(void *, CacheHierarchy &, CacheLine &,
+                           Cycles) = nullptr;
     bool speculativeRounding = false;
+
+    /** access() L1 MRU hint — pure lookup acceleration, validated
+     *  against the probe keys on every use, never serialized. */
+    std::size_t l1Mru = 0;
+
+    /** forEachPrivate() snapshot buffer, reused across walks. */
+    std::vector<CacheLine *> walkScratch;
 
     /** Metadata line index controls (see forEachPrivate()). Auditing
      *  defaults on in assertion builds, off in optimised ones. */
@@ -332,6 +384,11 @@ class CacheHierarchy
     /** L1→L2 evictions where aggregating the word-granularity log map
      *  by conjunction zeroed a partially-logged group (III-B1). */
     StatsRegistry::Counter statLogBitAggrLossy;
+
+    /** forEachPrivate invocations. Bumped identically on the indexed
+     *  and full-scan branches (walks, not lines visited), so the two
+     *  modes stay stats-identical; pinned by GoldenStats. */
+    StatsRegistry::Counter statMetaWalks;
 };
 
 } // namespace slpmt

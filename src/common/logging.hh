@@ -43,6 +43,12 @@ panic(const std::string &msg)
     throw PanicError("panic: " + msg);
 }
 
+[[noreturn]] inline void
+panic(const char *msg)
+{
+    throw PanicError(std::string("panic: ") + msg);
+}
+
 /** Report a user-caused unrecoverable condition. */
 [[noreturn]] inline void
 fatal(const std::string &msg)
@@ -64,9 +70,17 @@ inform(const std::string &msg)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
-/** panic() unless a condition holds. */
+/**
+ * panic() unless a condition holds. Templated on the message type so
+ * a string-literal call site costs nothing on the success path — the
+ * old `const std::string&` signature heap-allocated the message on
+ * every call, which was measurable in the cache hot loops. Callers
+ * that build a dynamic message still pay for it eagerly; keep those
+ * off hot paths.
+ */
+template <typename Msg>
 inline void
-panicIfNot(bool cond, const std::string &msg)
+panicIfNot(bool cond, const Msg &msg)
 {
     if (!cond)
         panic(msg);

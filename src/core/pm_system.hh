@@ -33,6 +33,21 @@
 namespace slpmt
 {
 
+/**
+ * Layout self-check policy for the SoA cache arrays: leave the
+ * hierarchy's build-type default alone, or force the probe-key and
+ * metadata-index audits off/on. The audits recompute the sibling
+ * arrays from the architectural lines on every index walk, so a
+ * forced-On machine must behave byte-identically to a forced-Off one
+ * — the differential the LayoutDiff suite runs.
+ */
+enum class LayoutAudit : std::uint8_t
+{
+    Default,
+    Off,
+    On,
+};
+
 /** Everything configurable about the simulated machine. */
 struct SystemConfig
 {
@@ -45,6 +60,10 @@ struct SystemConfig
 
     /** Metadata line index toggle (see ExperimentConfig::useMetaIndex). */
     bool useMetaIndex = true;
+
+    /** SoA layout self-check policy (never part of checkpoint
+     *  fingerprints or reports — results must not depend on it). */
+    LayoutAudit layoutAudit = LayoutAudit::Default;
 
     /**
      * Number of logical cores. PmSystem models exactly one core and
@@ -74,6 +93,9 @@ class PmSystem : public PmContext
                    "McMachine for numCores > 1");
         policy = &manualPolicy;
         hier.setMetaIndexEnabled(config.useMetaIndex);
+        if (config.layoutAudit != LayoutAudit::Default)
+            hier.setMetaIndexAudit(config.layoutAudit ==
+                                   LayoutAudit::On);
     }
 
     /** @name Component access */

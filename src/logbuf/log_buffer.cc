@@ -1,6 +1,5 @@
 #include "logbuf/log_buffer.hh"
 
-#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -39,29 +38,33 @@ LogBuffer::insertLine(Addr line_addr, const std::uint8_t *old_line,
 }
 
 Cycles
-LogBuffer::insertAtTier(std::size_t t, LogRecord rec, Cycles now)
+LogBuffer::insertAtTier(std::size_t t, const LogRecord &rec, Cycles now)
 {
     Cycles latency = 0;
-    auto &tier = tiers[t];
+    Tier &tier = tiers[t];
 
     // Try to coalesce with the buddy covering the other half of the
     // next-larger span (buddy-allocator style), except at the top tier.
     if (t + 1 < tierCount) {
         const Addr span = rec.spanBytes();
         const Addr buddy_base = rec.base ^ span;
-        auto buddy = std::find_if(tier.begin(), tier.end(),
-                                  [&](const LogRecord &r) {
-                                      return r.base == buddy_base;
-                                  });
-        if (buddy != tier.end()) {
+        std::uint32_t buddy = tier.count;
+        for (std::uint32_t i = 0; i < tier.count; ++i) {
+            if (tier.bases[i] == buddy_base) {
+                buddy = i;
+                break;
+            }
+        }
+        if (buddy != tier.count) {
             statCoalesces++;
             LogRecord merged;
             merged.base = std::min(rec.base, buddy_base);
             merged.words = static_cast<std::uint8_t>(rec.words * 2);
             merged.txnId = rec.txnId;
             merged.txnSeq = rec.txnSeq;
-            const LogRecord &low = rec.base < buddy_base ? rec : *buddy;
-            const LogRecord &high = rec.base < buddy_base ? *buddy : rec;
+            const LogRecord &buddy_rec = tier.slots[buddy];
+            const LogRecord &low = rec.base < buddy_base ? rec : buddy_rec;
+            const LogRecord &high = rec.base < buddy_base ? buddy_rec : rec;
             std::memcpy(merged.data.data(), low.data.data(),
                         low.spanBytes());
             std::memcpy(merged.data.data() + low.spanBytes(),
@@ -74,24 +77,24 @@ LogBuffer::insertAtTier(std::size_t t, LogRecord rec, Cycles now)
     statTierRecords[t]++;
 
     // No coalescing opportunity: drain the tier if it is full.
-    if (tier.size() >= tierCapacity) {
+    if (tier.count >= tierCapacity) {
         statTierDrains++;
-        for (const auto &r : tier)
-            latency += persist(r, now + latency);
-        tier.clear();
+        for (std::uint32_t i = 0; i < tier.count; ++i)
+            latency += persist(tier.slots[i], now + latency);
+        tier.count = 0;
     }
-    tier.push_back(rec);
+    tier.push(rec);
     return latency;
 }
 
 Cycles
 LogBuffer::persist(const LogRecord &rec, Cycles now)
 {
-    panicIfNot(sink != nullptr, "log buffer has no drain sink");
+    panicIfNot(sinkFn != nullptr, "log buffer has no drain sink");
     statRecordsPersisted++;
     statDrainedWireBytes += rec.wireBytes();
     statDrainedWords.record(rec.words);
-    return sink->persistRecord(rec, now);
+    return sinkFn(sinkObj, rec, now);
 }
 
 Cycles
@@ -99,12 +102,12 @@ LogBuffer::flushLine(Addr line_addr, Cycles now)
 {
     Cycles latency = 0;
     for (auto &tier : tiers) {
-        for (auto it = tier.begin(); it != tier.end();) {
-            if (it->touchesLine(line_addr)) {
-                latency += persist(*it, now + latency);
-                it = tier.erase(it);
+        for (std::uint32_t i = 0; i < tier.count;) {
+            if (tier.slots[i].touchesLine(line_addr)) {
+                latency += persist(tier.slots[i], now + latency);
+                tier.erase(i);
             } else {
-                ++it;
+                ++i;
             }
         }
     }
@@ -116,36 +119,18 @@ LogBuffer::drainAll(Cycles now)
 {
     Cycles latency = 0;
     for (auto &tier : tiers) {
-        for (const auto &rec : tier)
-            latency += persist(rec, now + latency);
-        tier.clear();
+        for (std::uint32_t i = 0; i < tier.count; ++i)
+            latency += persist(tier.slots[i], now + latency);
+        tier.count = 0;
     }
     return latency;
-}
-
-std::size_t
-LogBuffer::discardIf(const std::function<bool(Addr line)> &is_lazy)
-{
-    std::size_t discarded = 0;
-    for (auto &tier : tiers) {
-        for (auto it = tier.begin(); it != tier.end();) {
-            if (is_lazy(it->line())) {
-                ++discarded;
-                it = tier.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
-    statRecordsDiscarded += discarded;
-    return discarded;
 }
 
 void
 LogBuffer::clear()
 {
     for (auto &tier : tiers)
-        tier.clear();
+        tier.count = 0;
 }
 
 } // namespace slpmt

@@ -12,30 +12,29 @@
  * this repeats on every tier except the full-line one. A tier that
  * fills with no coalescing opportunity is drained to the persistent
  * log area.
+ *
+ * Storage: each tier is a fixed in-place arena (capacity x LogRecord
+ * slots plus a live count) rather than a heap vector, so inserting,
+ * coalescing, and draining never allocate. Erases shift the tail down
+ * one slot to preserve insertion order — drain order is part of the
+ * deterministic report contract. Record pointers/references obtained
+ * from tier() or forEachRecord() are invalidated by ANY subsequent
+ * mutating call (insert, flush, drain, discard, clear, restore):
+ * records live in the slots themselves, and slots are reused and
+ * shifted in place.
  */
 
 #ifndef SLPMT_LOGBUF_LOG_BUFFER_HH
 #define SLPMT_LOGBUF_LOG_BUFFER_HH
 
 #include <array>
-#include <functional>
-#include <vector>
+#include <span>
 
 #include "stats/stats.hh"
 #include "logbuf/log_record.hh"
 
 namespace slpmt
 {
-
-/** Destination for drained records (the persistent undo-log area). */
-class LogDrainSink
-{
-  public:
-    virtual ~LogDrainSink() = default;
-
-    /** Persist one record; returns the cycles spent issuing it. */
-    virtual Cycles persistRecord(const LogRecord &rec, Cycles now) = 0;
-};
 
 /** The on-core tiered log buffer. */
 class LogBuffer
@@ -68,7 +67,23 @@ class LogBuffer
         }
     }
 
-    void setSink(LogDrainSink *s) { sink = s; }
+    /**
+     * Wire the drain destination (the persistent undo-log area,
+     * implemented by the transaction engine via a non-virtual
+     * `Cycles persistRecord(const LogRecord &, Cycles)` member).
+     * Dispatch is a stored function pointer specialised on the
+     * concrete sink type — devirtualized: no vtable and no virtual
+     * interface class to inherit.
+     */
+    template <typename Sink>
+    void
+    setSink(Sink *s)
+    {
+        sinkObj = s;
+        sinkFn = [](void *obj, const LogRecord &rec, Cycles now) {
+            return static_cast<Sink *>(obj)->persistRecord(rec, now);
+        };
+    }
 
     /**
      * Insert a one-word undo record, coalescing upward as far as
@@ -98,22 +113,41 @@ class LogBuffer
     /**
      * Remove (without persisting) every record whose line satisfies
      * @p is_lazy — the commit-time discard of records belonging to
-     * lazily persistent cache lines.
+     * lazily persistent cache lines. Templated on the predicate so the
+     * commit hot path carries no std::function indirection.
      *
      * @return number of records discarded
      */
-    std::size_t discardIf(const std::function<bool(Addr line)> &is_lazy);
+    template <typename IsLazy>
+    std::size_t
+    discardIf(IsLazy &&is_lazy)
+    {
+        std::size_t discarded = 0;
+        for (auto &tier : tiers) {
+            for (std::uint32_t i = 0; i < tier.count;) {
+                if (is_lazy(tier.slots[i].line())) {
+                    ++discarded;
+                    tier.erase(i);
+                } else {
+                    ++i;
+                }
+            }
+        }
+        statRecordsDiscarded += discarded;
+        return discarded;
+    }
 
     /** Drop everything without persisting (abort / crash). */
     void clear();
 
     /** Mutable visit of every buffered record (redo-mode refresh). */
+    template <typename Fn>
     void
-    forEachRecord(const std::function<void(LogRecord &)> &fn)
+    forEachRecord(Fn &&fn)
     {
         for (auto &tier : tiers) {
-            for (auto &rec : tier)
-                fn(rec);
+            for (std::uint32_t i = 0; i < tier.count; ++i)
+                fn(tier.slots[i]);
         }
     }
 
@@ -121,7 +155,7 @@ class LogBuffer
     empty() const
     {
         for (const auto &tier : tiers) {
-            if (!tier.empty())
+            if (tier.count != 0)
                 return false;
         }
         return true;
@@ -132,25 +166,27 @@ class LogBuffer
     {
         std::size_t n = 0;
         for (const auto &tier : tiers)
-            n += tier.size();
+            n += tier.count;
         return n;
     }
 
-    /** Direct tier view for tests. */
-    const std::vector<LogRecord> &tier(std::size_t i) const
+    /** Direct tier view for tests (live records, insertion order). */
+    std::span<const LogRecord>
+    tier(std::size_t i) const
     {
-        return tiers.at(i);
+        const Tier &t = tiers.at(i);
+        return {t.slots.data(), t.count};
     }
 
-    /** @name Checkpointing (the sink pointer is rewired by the owner) */
+    /** @name Checkpointing (the sink is rewired by the owner) */
     /** @{ */
     void
     saveState(BlobWriter &w) const
     {
         for (const auto &t : tiers) {
-            w.u<std::uint64_t>(t.size());
-            for (const auto &rec : t)
-                rec.saveState(w);
+            w.u<std::uint64_t>(t.count);
+            for (std::uint32_t i = 0; i < t.count; ++i)
+                t.slots[i].saveState(w);
         }
     }
 
@@ -158,28 +194,69 @@ class LogBuffer
     restoreState(BlobReader &r)
     {
         for (auto &t : tiers) {
-            t.clear();
+            t.count = 0;
             const std::size_t n = r.count(1);
             if (n > tierCapacity)
                 throw CheckpointError("log buffer tier overflow");
             for (std::size_t i = 0; i < n; ++i) {
                 LogRecord rec;
                 rec.restoreState(r);
-                t.push_back(rec);
+                t.push(rec);
             }
         }
     }
     /** @} */
 
   private:
+    /**
+     * One tier's bump arena: records live in-place in @c slots[0..
+     * count). push() assumes a free slot (callers drain first);
+     * erase() shifts the tail down to keep insertion order. Bulk
+     * reset is `count = 0` — slot contents are never read beyond
+     * count, so no destruction or zeroing happens.
+     */
+    struct Tier
+    {
+        std::array<LogRecord, tierCapacity> slots;
+
+        /** The live slots' record bases, hoisted: the buddy scan in
+         *  insertAtTier() touches one cache line instead of striding
+         *  the ~88-byte records. Only base-preserving mutation of a
+         *  live record (the redo-refresh data rewrite) may bypass
+         *  push()/erase(). */
+        std::array<Addr, tierCapacity> bases;
+        std::uint32_t count = 0;
+
+        void
+        push(const LogRecord &rec)
+        {
+            bases[count] = rec.base;
+            slots[count++] = rec;
+        }
+
+        void
+        erase(std::uint32_t i)
+        {
+            for (std::uint32_t j = i + 1; j < count; ++j) {
+                slots[j - 1] = slots[j];
+                bases[j - 1] = bases[j];
+            }
+            --count;
+        }
+    };
+
     /** Insert into tier @p t, coalescing upward; assumes alignment. */
-    Cycles insertAtTier(std::size_t t, LogRecord rec, Cycles now);
+    /** @p rec must not alias a tier slot (it may be drained/shifted
+     *  before the final push); callers pass stack locals only. */
+    Cycles insertAtTier(std::size_t t, const LogRecord &rec, Cycles now);
 
     /** Persist one record through the sink. */
     Cycles persist(const LogRecord &rec, Cycles now);
 
-    std::array<std::vector<LogRecord>, tierCount> tiers;
-    LogDrainSink *sink = nullptr;
+    std::array<Tier, tierCount> tiers;
+
+    void *sinkObj = nullptr;
+    Cycles (*sinkFn)(void *, const LogRecord &, Cycles) = nullptr;
 
     StatsRegistry::Counter statInserts;
     StatsRegistry::Counter statCoalesces;

@@ -21,6 +21,8 @@ McCore::McCore(McMachine &machine, std::size_t id,
           coreStats.counter("txn.lazyDrain.remoteIdObserved"))
 {
     hier.setMetaIndexEnabled(cfg.useMetaIndex);
+    if (cfg.layoutAudit != LayoutAudit::Default)
+        hier.setMetaIndexAudit(cfg.layoutAudit == LayoutAudit::On);
     hier.setRemoteFolder(&machine);
     eng.setSharedSeqCounter(seq_counter);
     eng.setSharedCrashCountdown(crash_countdown);
@@ -175,7 +177,7 @@ McMachine::beforeLineAccess(std::size_t requester, Addr line_addr,
         // MESI side: a remote store invalidates the peer's copy; a
         // remote load takes dirty or metadata-bearing copies away
         // (modelled as a surrender into the shared L3 — the ordinary
-        // eviction path, so log-bit aggregation and EvictionClient
+        // eviction path, so log-bit aggregation and eviction-client
         // drains apply unchanged). Clean, metadata-free copies stay
         // put on loads.
         if (CacheLine *line = peer.hierarchy().findPrivate(line_addr)) {

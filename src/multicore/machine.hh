@@ -20,7 +20,7 @@
  * peer's copy, a remote load downgrades dirty or metadata-bearing
  * copies, both by surrendering the private line into the shared L3
  * through the ordinary eviction path (so log-bit aggregation and the
- * EvictionClient drains apply unchanged). A probe that meets the
+ * eviction-client drains apply unchanged). A probe that meets the
  * peer's *in-flight* transaction is a conflict; the machine aborts
  * the suspended peer (requester wins — it is the one currently
  * scheduled) and notifies the conflict handler so the driver can
@@ -124,7 +124,7 @@ class McCore : public PmContext
 };
 
 /** The machine: shared components plus the per-core column. */
-class McMachine : public RemoteLineFolder
+class McMachine final
 {
   public:
     /** Called when a probe aborted core @p core's in-flight
@@ -207,10 +207,11 @@ class McMachine : public RemoteLineFolder
     /** Slowest core's clock — the wall time of a parallel phase. */
     Cycles makespan() const;
 
-    /** RemoteLineFolder: fold other cores' private copies into a
-     *  shared-L3 victim being evicted by @p evictor. */
+    /** Remote-folder hook (CacheHierarchy::setRemoteFolder): fold
+     *  other cores' private copies into a shared-L3 victim being
+     *  evicted by @p evictor. */
     Cycles foldRemotePrivate(CacheHierarchy &evictor, CacheLine &victim,
-                             Cycles now) override;
+                             Cycles now);
 
   private:
     /** Bytes reserved for the durable root directory (matches

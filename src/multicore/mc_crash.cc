@@ -1,10 +1,14 @@
 #include "multicore/mc_crash.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "checkpoint/checkpoint.hh"
 #include "common/rng.hh"
@@ -310,6 +314,58 @@ buildMcChain(const McCrashSweepConfig &cfg,
 }
 
 /**
+ * Restore checkpoint @p ckpt and resume only the tail of the
+ * interleaving up to @p crash_point (0 = run the interleaving out
+ * and power off after completion).
+ */
+McCrashPointOutcome
+runMcPointFromBase(const McCrashSweepConfig &cfg,
+                   const std::vector<std::vector<McOpRecord>> &streams,
+                   const McTraceCheckpoint &ckpt,
+                   std::uint64_t crash_point)
+{
+    McCrashPointOutcome out;
+    out.crashPoint = crash_point;
+    const std::string tuple = reproTuple(cfg, crash_point);
+    const McYcsbConfig rc = runConfigFor(cfg);
+
+    try {
+        SystemConfig sys_cfg = rc.sys;
+        sys_cfg.numCores = rc.numCores;
+        McMachine machine(sys_cfg);
+        if (rc.policy)
+            machine.setAnnotationPolicy(rc.policy);
+
+        // No setup(): the restore rewrites the whole machine (site
+        // registry included) and the cloned workload carries the
+        // roots.
+        auto wl = ckpt.workload->clone();
+        ckpt.machine->restore(machine);
+
+        std::vector<McOpRecord> commit_log = ckpt.commitLog;
+        std::vector<std::unique_ptr<McYcsbDriver>> drivers;
+        std::vector<McCoreDriver *> ptrs;
+        for (std::size_t i = 0; i < rc.numCores; ++i) {
+            drivers.push_back(std::make_unique<McYcsbDriver>(
+                machine.context(i), *wl, streams[i], commit_log));
+            drivers.back()->resumeAt(ckpt.cursors[i]);
+            ptrs.push_back(drivers.back().get());
+        }
+
+        if (crash_point > 0)
+            machine.armCrashAfterStores(crash_point - ckpt.storesAt);
+        const McScheduleResult run =
+            runInterleavedFrom(machine, ptrs, rc.sched, ckpt.sched);
+        machine.armCrashAfterStores(0);
+        finishPoint(cfg, rc, tuple, machine, *wl, streams, commit_log,
+                    run.crashed, out);
+    } catch (const std::exception &e) {
+        out.violations.push_back(tuple + " exception: " + e.what());
+    }
+    return out;
+}
+
+/**
  * Run one crash point by restoring the nearest checkpoint strictly
  * below it and resuming only the tail of the interleaving. Point 0
  * (post-completion) resumes the last checkpoint and runs the
@@ -321,54 +377,178 @@ runPointFromChain(const McCrashSweepConfig &cfg,
                   const McCheckpointChain &chain,
                   std::uint64_t crash_point)
 {
-    McCrashPointOutcome out;
-    out.crashPoint = crash_point;
-    const std::string tuple = reproTuple(cfg, crash_point);
-    const McYcsbConfig rc = runConfigFor(cfg);
+    const McTraceCheckpoint *ckpt = &chain.entries.front();
+    for (const auto &entry : chain.entries) {
+        if (crash_point == 0 || entry.storesAt < crash_point)
+            ckpt = &entry;
+        else
+            break;
+    }
+    return runMcPointFromBase(cfg, streams, *ckpt, crash_point);
+}
 
+std::vector<std::uint64_t> enumeratePoints(const McCrashSweepConfig &cfg,
+                                           std::uint64_t total_stores);
+
+/**
+ * Shared state of the pipelined exhaustive sweep (mirrors the
+ * single-core TailPipeline): the master interleaving publishes
+ * checkpoints and its store frontier at every quantum boundary, and
+ * tail workers resume crash points concurrently with the build. Point
+ * k's base — the nearest checkpoint strictly below k — is final as
+ * soon as the frontier reaches k, because every later checkpoint
+ * lands at a store count >= the frontier.
+ */
+struct McTailPipeline
+{
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<McTraceCheckpoint> entries;
+    std::uint64_t frontier = 0;
+    std::uint64_t traceStores = 0;
+    bool done = false;
+    std::exception_ptr error;
+};
+
+/** The master interleaving of the pipelined sweep (same drop rule as
+ *  buildMcChain, published incrementally). */
+void
+runMcPipelineMaster(const McCrashSweepConfig &cfg,
+                    const std::vector<std::vector<McOpRecord>> &streams,
+                    McTailPipeline &pipe)
+{
     try {
-        const McTraceCheckpoint *ckpt = &chain.entries.front();
-        for (const auto &entry : chain.entries) {
-            if (crash_point == 0 || entry.storesAt < crash_point)
-                ckpt = &entry;
-            else
-                break;
-        }
-
+        const McYcsbConfig rc = runConfigFor(cfg);
         SystemConfig sys_cfg = rc.sys;
         sys_cfg.numCores = rc.numCores;
         McMachine machine(sys_cfg);
         if (rc.policy)
             machine.setAnnotationPolicy(rc.policy);
 
-        // No setup(): the restore rewrites the whole machine (site
-        // registry included) and the cloned workload carries the
-        // roots.
-        auto wl = ckpt->workload->clone();
-        ckpt->machine->restore(machine);
+        auto wl = makeWorkload(rc.workload);
+        wl->setup(machine.context(0));
 
-        std::vector<McOpRecord> commit_log = ckpt->commitLog;
+        std::vector<McOpRecord> commit_log;
         std::vector<std::unique_ptr<McYcsbDriver>> drivers;
         std::vector<McCoreDriver *> ptrs;
         for (std::size_t i = 0; i < rc.numCores; ++i) {
             drivers.push_back(std::make_unique<McYcsbDriver>(
                 machine.context(i), *wl, streams[i], commit_log));
-            drivers.back()->resumeAt(ckpt->cursors[i]);
             ptrs.push_back(drivers.back().get());
         }
 
-        if (crash_point > 0)
-            machine.armCrashAfterStores(crash_point -
-                                        ckpt->storesAt);
-        const McScheduleResult run =
-            runInterleavedFrom(machine, ptrs, rc.sched, ckpt->sched);
-        machine.armCrashAfterStores(0);
-        finishPoint(cfg, rc, tuple, machine, *wl, streams, commit_log,
-                    run.crashed, out);
-    } catch (const std::exception &e) {
-        out.violations.push_back(tuple + " exception: " + e.what());
+        const std::uint64_t base = machine.storesExecuted();
+        const std::uint64_t interval =
+            std::max<std::size_t>(cfg.checkpointInterval, 1);
+        bool have_dropped = false;
+        std::uint64_t last_drop_stores = 0;
+        runInterleaved(
+            machine, ptrs, rc.sched, [&](const McScheduleState &st) {
+                const std::uint64_t stores =
+                    machine.storesExecuted() - base;
+                if (!have_dropped ||
+                    stores - last_drop_stores >= interval) {
+                    McTraceCheckpoint t;
+                    t.machine =
+                        std::make_shared<const MachineCheckpoint>(
+                            MachineCheckpoint::capture(machine));
+                    t.workload = wl->clone();
+                    t.commitLog = commit_log;
+                    for (const auto &d : drivers)
+                        t.cursors.push_back(d->position());
+                    t.sched = st;
+                    t.storesAt = stores;
+                    have_dropped = true;
+                    last_drop_stores = stores;
+                    std::lock_guard<std::mutex> lock(pipe.mtx);
+                    pipe.entries.push_back(std::move(t));
+                }
+                {
+                    std::lock_guard<std::mutex> lock(pipe.mtx);
+                    pipe.frontier = stores;
+                }
+                pipe.cv.notify_all();
+            });
+        {
+            std::lock_guard<std::mutex> lock(pipe.mtx);
+            pipe.traceStores = machine.storesExecuted() - base;
+            pipe.done = true;
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(pipe.mtx);
+        pipe.error = std::current_exception();
+        pipe.done = true;
     }
-    return out;
+    pipe.cv.notify_all();
+}
+
+/** The pipelined exhaustive sweep (maxPoints == 0); sampled sweeps
+ *  keep the two-phase shape because stratification needs the total
+ *  store count before any point can be enumerated. */
+void
+runMcPipelinedSweep(const McCrashSweepConfig &cfg,
+                    const std::vector<std::vector<McOpRecord>> &streams,
+                    McCrashSweepReport &report)
+{
+    McTailPipeline pipe;
+    std::mutex results_mtx;
+    std::map<std::uint64_t, McCrashPointOutcome> results;
+    std::atomic<std::uint64_t> ticket{1};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::uint64_t k = ticket.fetch_add(1);
+            const McTraceCheckpoint *ckpt = nullptr;
+            std::uint64_t point = k;
+            {
+                std::unique_lock<std::mutex> lock(pipe.mtx);
+                pipe.cv.wait(lock, [&] {
+                    return pipe.done || pipe.frontier >= k;
+                });
+                if (pipe.done && pipe.error)
+                    return;
+                if (pipe.done && k > pipe.traceStores) {
+                    if (!cfg.crashAfterCompletion ||
+                        k != pipe.traceStores + 1)
+                        return;
+                    point = 0;
+                    ckpt = &pipe.entries.back();
+                } else {
+                    ckpt = &pipe.entries.front();
+                    for (const auto &entry : pipe.entries) {
+                        if (entry.storesAt < k)
+                            ckpt = &entry;
+                        else
+                            break;
+                    }
+                }
+            }
+            McCrashPointOutcome out =
+                runMcPointFromBase(cfg, streams, *ckpt, point);
+            std::lock_guard<std::mutex> lock(results_mtx);
+            results[point] = std::move(out);
+            if (point == 0)
+                return;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    const std::size_t workers = std::max<std::size_t>(cfg.workers, 1);
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    runMcPipelineMaster(cfg, streams, pipe);
+    worker();  // the finished master joins the replay pool
+    for (auto &t : threads)
+        t.join();
+    if (pipe.error)
+        std::rethrow_exception(pipe.error);
+
+    report.traceStores = pipe.traceStores;
+    const auto points = enumeratePoints(cfg, report.traceStores);
+    report.points.reserve(points.size());
+    for (std::uint64_t p : points)
+        report.points.push_back(std::move(results.at(p)));
 }
 
 /** Stratified point enumeration (mirrors the single-core sweep). */
@@ -447,7 +627,12 @@ runMcCrashSweep(const McCrashSweepConfig &cfg)
     report.config = cfg;
 
     const auto streams = mcYcsbStreams(runConfigFor(cfg));
-    if (cfg.useCheckpoints) {
+    if (cfg.useCheckpoints && cfg.maxPoints == 0) {
+        // Exhaustive sweep: every interleaved store is a point, so
+        // the tail replays can start while the master interleaving is
+        // still building the checkpoint chain.
+        runMcPipelinedSweep(cfg, streams, report);
+    } else if (cfg.useCheckpoints) {
         const McCheckpointChain chain = buildMcChain(cfg, streams);
         report.traceStores = chain.traceStores;
         const auto points = enumeratePoints(cfg, report.traceStores);

@@ -184,6 +184,7 @@ runMcExperiment(const std::string &workload_name,
     mc.sys.style = cfg.style;
     mc.sys.pm.writeLatencyNs = cfg.pmWriteLatencyNs;
     mc.sys.useMetaIndex = cfg.useMetaIndex;
+    mc.sys.layoutAudit = cfg.layoutAudit;
 
     static const NullAnnotationPolicy null_policy;
     static const ManualAnnotationPolicy manual_policy;

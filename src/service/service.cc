@@ -407,6 +407,7 @@ runServiceExperiment(const std::string &workload_name,
     svc.sys.style = cfg.style;
     svc.sys.pm.writeLatencyNs = cfg.pmWriteLatencyNs;
     svc.sys.useMetaIndex = cfg.useMetaIndex;
+    svc.sys.layoutAudit = cfg.layoutAudit;
     svc.policy = policyFor(cfg.annotations);
 
     const KvServiceResult run = runService(svc);

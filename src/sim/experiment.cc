@@ -28,6 +28,7 @@ runExperiment(const std::string &workload_name,
     sys_cfg.style = cfg.style;
     sys_cfg.pm.writeLatencyNs = cfg.pmWriteLatencyNs;
     sys_cfg.useMetaIndex = cfg.useMetaIndex;
+    sys_cfg.layoutAudit = cfg.layoutAudit;
 
     PmSystem sys(sys_cfg);
     auto workload = makeWorkload(workload_name);

@@ -50,6 +50,11 @@ struct ExperimentConfig
      *  harness can measure the index's host-side speedup. */
     bool useMetaIndex = true;
 
+    /** SoA layout self-check policy (see SystemConfig::layoutAudit):
+     *  forced on/off by the LayoutDiff differential suite, which
+     *  asserts both modes produce byte-identical results. */
+    LayoutAudit layoutAudit = LayoutAudit::Default;
+
     /** @name Multicore cells (src/multicore/) */
     /** @{ */
     /** Cores of the simulated machine. > 1 runs the interleaved

@@ -1030,6 +1030,15 @@ peakRssKb()
     return static_cast<std::uint64_t>(ru.ru_maxrss);
 }
 
+/** Installed host-allocation tally (see setAllocationCounter). */
+std::uint64_t (*allocation_counter)() = nullptr;
+
+std::uint64_t
+allocationsNow()
+{
+    return allocation_counter ? allocation_counter() : 0;
+}
+
 std::uint64_t
 elapsedMicros(std::chrono::steady_clock::time_point start)
 {
@@ -1082,9 +1091,12 @@ runProfile(const BenchOptions &opts)
 
         const std::vector<ExperimentCase> cases = fig->cases();
 
+        const std::uint64_t allocs_before = allocationsNow();
         const auto indexed_start = std::chrono::steady_clock::now();
         const MatrixResult result = runCases(cases, opts.workers);
         const std::uint64_t wall_us = elapsedMicros(indexed_start);
+        const std::uint64_t figure_allocs =
+            allocationsNow() - allocs_before;
 
         std::string failures;
         if (!result.allVerified(&failures)) {
@@ -1120,6 +1132,8 @@ runProfile(const BenchOptions &opts)
         if (wall_us > 0)
             w.key("simCyclesPerSec")
                 .value(sim_cycles * 1'000'000 / wall_us);
+        if (allocation_counter)
+            w.key("hostAllocs").value(figure_allocs);
 
         double speedup = 0;
         if (opts.profileCompare) {
@@ -1189,6 +1203,16 @@ runProfile(const BenchOptions &opts)
 
     w.endObject();
     w.key("peakRssKb").value(peakRssKb());
+    if (allocation_counter) {
+        // The PR 10 raw-speed section: peak RSS and the host
+        // allocation total pin the arena work (log records, SoA
+        // frames) as numbers a later regression can be diffed
+        // against, not just a wall-clock that varies by host.
+        w.key("speed").beginObject();
+        w.key("peakRssKb").value(peakRssKb());
+        w.key("hostAllocs").value(allocationsNow());
+        w.endObject();
+    }
     w.endObject();
 
     if (!writeFile(opts.profilePath, w.str() + "\n")) {
@@ -1207,6 +1231,12 @@ runProfile(const BenchOptions &opts)
 }
 
 } // namespace
+
+void
+setAllocationCounter(std::uint64_t (*fn)())
+{
+    allocation_counter = fn;
+}
 
 int
 runBench(const BenchOptions &opts)

@@ -13,6 +13,7 @@
 #ifndef SLPMT_SIM_FIGURES_HH
 #define SLPMT_SIM_FIGURES_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -58,6 +59,16 @@ struct BenchOptions
     double speedThreshold = 3.0;       //!< wall-clock regression bound
     /** @} */
 };
+
+/**
+ * Install a host heap-allocation tally for the profiling harness:
+ * when a counter is present, --profile records allocation-count
+ * deltas per figure and a "speed" summary section (peak RSS +
+ * total allocations) in the slpmt-speed-1 document. slpmt_bench
+ * overrides global operator new to supply one; binaries without a
+ * counter simply omit the fields.
+ */
+void setAllocationCounter(std::uint64_t (*fn)());
 
 /**
  * Parse one common flag (--workers=N, --json[=FILE], --stats,

@@ -335,7 +335,8 @@ TxnEngine::load(Addr addr, void *out, std::size_t len)
             // (Section III-C3).
             c += checkLineOwner(*res.line, clock + c);
             if (inTxn)
-                idState[curId].signature.insert(lineBase(addr));
+                idState[curId].signature.insert(
+                    probeForLine(lineBase(addr)));
         }
 
         std::memcpy(dst, res.line->data.data() + off, chunk);
@@ -431,7 +432,7 @@ TxnEngine::storeSegment(Addr addr, const void *src, std::size_t len,
 
         line.txnId = curId;
         line.txnSeq = curSeq;
-        idState[curId].signature.insert(lineBase(addr));
+        idState[curId].signature.insert(probeForLine(lineBase(addr)));
     }
 
     std::memcpy(line.data.data() + lineOffset(addr), src, len);
@@ -581,7 +582,9 @@ TxnEngine::checkSignaturesOnWrite(Addr addr, Cycles when)
     // the hash functions, so the address is hashed once and the probe
     // tested against every candidate.
     Cycles c = 0;
-    const Signature::Probe probe = Signature::probeFor(addr);
+    // Copy out of the memo: the forced-persist calls below can reach
+    // stores that refresh it while this scan still needs the probe.
+    const Signature::Probe probe = probeForLine(lineBase(addr));
     bool again = true;
     while (again) {
         again = false;
@@ -606,11 +609,9 @@ TxnEngine::checkSignaturesOnWrite(Addr addr, Cycles when)
 }
 
 Cycles
-TxnEngine::checkLineOwner(const CacheLine &line, Cycles when)
+TxnEngine::checkLineOwnerSlow(const CacheLine &line, Cycles when)
 {
     const std::uint8_t owner = line.txnId;
-    if (owner == noTxnId)
-        return 0;
     if (inTxn && owner == curId && line.txnSeq == curSeq)
         return 0;
     if (owner >= idState.size() || idState[owner].txnSeq != line.txnSeq ||

@@ -82,9 +82,10 @@ struct EngineCosts
 
 /**
  * Per-core transaction engine; also the hierarchy's eviction client
- * and the log buffer's drain sink.
+ * and the log buffer's drain sink (wired through the devirtualized
+ * setEvictionClient/setSink hooks — no virtual interfaces).
  */
-class TxnEngine : public EvictionClient, public LogDrainSink
+class TxnEngine final
 {
   public:
     /**
@@ -261,14 +262,14 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     void restoreState(BlobReader &r);
     /** @} */
 
-    /** EvictionClient interface. */
-    Cycles evictingPrivateLine(CacheLine &line, Cycles when) override;
+    /** Eviction-client hooks (CacheHierarchy::setEvictionClient). */
+    Cycles evictingPrivateLine(CacheLine &line, Cycles when);
     std::pair<Cycles, std::uint8_t>
     roundUpLogBits(CacheLine &line, std::uint8_t missing_words,
-                   Cycles when) override;
+                   Cycles when);
 
-    /** LogDrainSink interface. */
-    Cycles persistRecord(const LogRecord &rec, Cycles when) override;
+    /** Drain-sink hook (LogBuffer::setSink). */
+    Cycles persistRecord(const LogRecord &rec, Cycles when);
 
   private:
     /** The full store data path for one line-contained segment. */
@@ -290,8 +291,36 @@ class TxnEngine : public EvictionClient, public LogDrainSink
     /** Store-triggered signature check (Section III-C3). */
     Cycles checkSignaturesOnWrite(Addr addr, Cycles when);
 
-    /** Access-triggered line-owner check (Section III-C3). */
-    Cycles checkLineOwner(const CacheLine &line, Cycles when);
+    /** Access-triggered line-owner check (Section III-C3). Inline
+     *  fast reject: almost every access hits a line carrying no
+     *  owning-transaction tag at all. */
+    Cycles
+    checkLineOwner(const CacheLine &line, Cycles when)
+    {
+        if (line.txnId == noTxnId)
+            return 0;
+        return checkLineOwnerSlow(line, when);
+    }
+
+    /** The tagged-line tail of checkLineOwner(). */
+    Cycles checkLineOwnerSlow(const CacheLine &line, Cycles when);
+
+    /**
+     * Single-entry cache over Signature::probeFor(). The probe is a
+     * pure function of the line base (all signatures share the hash
+     * functions), and consecutive loads/stores overwhelmingly hit the
+     * same line, so the four-way mixing is skipped on repeats. The
+     * sentinel ~0 can never equal a 64-byte-aligned line base.
+     */
+    const Signature::Probe &
+    probeForLine(Addr base)
+    {
+        if (base != probeBase) {
+            probeCache = Signature::probeFor(base);
+            probeBase = base;
+        }
+        return probeCache;
+    }
 
     /** Persist all lazy lines of live txns up to @p id (oldest first),
      *  releasing their IDs. @p reason attributes the forced lines. */
@@ -325,6 +354,10 @@ class TxnEngine : public EvictionClient, public LogDrainSink
         bool lazyOutstanding = false; //!< committed w/ volatile lazy data
     };
     std::vector<IdState> idState;
+
+    /** probeForLine() memo (see the helper above). */
+    Addr probeBase = ~Addr{0};
+    Signature::Probe probeCache{};
 
     Cycles clock = 0;
     std::uint64_t crashCountdown = 0;  //!< fault injection (0 = off)

@@ -1,11 +1,15 @@
 #include "validate/crash_explorer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "checkpoint/checkpoint.hh"
 #include "core/pm_system.hh"
@@ -30,6 +34,7 @@ systemFor(const CrashSweepConfig &cfg)
     SystemConfig sc;
     sc.scheme = SchemeConfig::forKind(cfg.scheme);
     sc.style = cfg.style;
+    sc.layoutAudit = cfg.layoutAudit;
     if (cfg.tinyCache) {
         sc.hierarchy.l1 = CacheConfig{"L1", 1024, 2, 4};
         sc.hierarchy.l2 = CacheConfig{"L2", 2048, 2, 12};
@@ -329,6 +334,32 @@ buildCheckpointChain(const CrashSweepConfig &cfg,
 }
 
 /**
+ * Fork checkpoint @p ckpt and replay the tail up to @p crash_point
+ * (0 = run the trace out and power off after completion).
+ */
+CrashPointOutcome
+runPointFromBase(const CrashSweepConfig &cfg,
+                 const std::vector<YcsbMixedOp> &trace,
+                 const TraceCheckpoint &ckpt, std::uint64_t crash_point)
+{
+    CrashPointOutcome out;
+    out.crashPoint = crash_point;
+    try {
+        PmSystem sys(systemFor(cfg));
+        ckpt.machine->restore(sys);
+        auto wl = ckpt.workload->clone();
+        const std::uint64_t arm =
+            crash_point > 0 ? crash_point - ckpt.storesAt : 0;
+        return explorePoint(cfg, trace, crash_point, sys, *wl,
+                            ckpt.shadow, ckpt.nextOp, arm);
+    } catch (const std::exception &e) {
+        out.violations.push_back(reproTuple(cfg, crash_point) +
+                                 " exception: " + e.what());
+    }
+    return out;
+}
+
+/**
  * Run one crash point by forking the nearest checkpoint strictly
  * below it and replaying only the tail. Point 0 (post-completion)
  * forks the last checkpoint and runs the trace out.
@@ -339,32 +370,179 @@ runPointFromChain(const CrashSweepConfig &cfg,
                   const CheckpointChain &chain,
                   std::uint64_t crash_point)
 {
-    CrashPointOutcome out;
-    out.crashPoint = crash_point;
-    try {
-        // Entries are in increasing storesAt order; the base for a
-        // firing point must be strictly below it so the armed
-        // countdown sees at least one store.
-        const TraceCheckpoint *ckpt = &chain.entries.front();
-        for (const auto &entry : chain.entries) {
-            if (crash_point == 0 || entry.storesAt < crash_point)
-                ckpt = &entry;
-            else
-                break;
-        }
-
-        PmSystem sys(systemFor(cfg));
-        ckpt->machine->restore(sys);
-        auto wl = ckpt->workload->clone();
-        const std::uint64_t arm =
-            crash_point > 0 ? crash_point - ckpt->storesAt : 0;
-        return explorePoint(cfg, trace, crash_point, sys, *wl,
-                            ckpt->shadow, ckpt->nextOp, arm);
-    } catch (const std::exception &e) {
-        out.violations.push_back(reproTuple(cfg, crash_point) +
-                                 " exception: " + e.what());
+    // Entries are in increasing storesAt order; the base for a
+    // firing point must be strictly below it so the armed
+    // countdown sees at least one store.
+    const TraceCheckpoint *ckpt = &chain.entries.front();
+    for (const auto &entry : chain.entries) {
+        if (crash_point == 0 || entry.storesAt < crash_point)
+            ckpt = &entry;
+        else
+            break;
     }
-    return out;
+    return runPointFromBase(cfg, trace, *ckpt, crash_point);
+}
+
+/**
+ * Shared state of the pipelined exhaustive sweep: the master run
+ * publishes checkpoints and its store frontier as it goes, and tail
+ * workers replay crash points concurrently with the build. Entries
+ * live in a deque (never erased, so references stay stable while the
+ * master keeps appending). Point k only needs the nearest checkpoint
+ * strictly below k, and that choice is final as soon as the frontier
+ * reaches k — every later checkpoint lands at a store count >= the
+ * frontier — so a worker may start point k the moment frontier >= k,
+ * and its base (hence its outcome) is identical to the two-phase
+ * sweep's.
+ */
+struct TailPipeline
+{
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<TraceCheckpoint> entries;
+    std::uint64_t frontier = 0;     //!< trace stores the master applied
+    std::uint64_t traceStores = 0;  //!< final count, valid once done
+    bool done = false;
+    std::exception_ptr error;
+};
+
+/** The master run of the pipelined sweep (same checkpoint-drop rule
+ *  as buildCheckpointChain, published incrementally). */
+void
+runPipelineMaster(const CrashSweepConfig &cfg,
+                  const std::vector<YcsbMixedOp> &trace,
+                  TailPipeline &pipe)
+{
+    try {
+        PmSystem sys(systemFor(cfg));
+        auto wl = makeWorkload(cfg.workload);
+        wl->setup(sys);
+        const std::uint64_t base = sys.engine().storesExecuted();
+
+        Shadow shadow;
+        std::uint64_t last_drop_stores = 0;
+        auto drop = [&](std::size_t next_op) {
+            TraceCheckpoint t;
+            t.machine = std::make_shared<const MachineCheckpoint>(
+                MachineCheckpoint::capture(sys));
+            t.workload = wl->clone();
+            t.shadow = shadow;
+            t.nextOp = next_op;
+            t.storesAt = sys.engine().storesExecuted() - base;
+            last_drop_stores = t.storesAt;
+            std::lock_guard<std::mutex> lock(pipe.mtx);
+            pipe.entries.push_back(std::move(t));
+        };
+
+        drop(0);
+        const std::uint64_t interval =
+            std::max<std::uint64_t>(cfg.checkpointInterval, 1);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            applyOp(sys, *wl, trace[i], shadow);
+            const std::uint64_t stores =
+                sys.engine().storesExecuted() - base;
+            if (i + 1 < trace.size() &&
+                stores - last_drop_stores >= interval)
+                drop(i + 1);
+            {
+                std::lock_guard<std::mutex> lock(pipe.mtx);
+                pipe.frontier = stores;
+            }
+            pipe.cv.notify_all();
+        }
+        {
+            std::lock_guard<std::mutex> lock(pipe.mtx);
+            pipe.traceStores = sys.engine().storesExecuted() - base;
+            pipe.done = true;
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(pipe.mtx);
+        pipe.error = std::current_exception();
+        pipe.done = true;
+    }
+    pipe.cv.notify_all();
+}
+
+std::vector<std::uint64_t> enumeratePoints(const CrashSweepConfig &cfg,
+                                           std::uint64_t total_stores);
+
+/**
+ * The pipelined exhaustive sweep (maxPoints == 0): overlap the master
+ * checkpoint-chain build with the point tail replays. Exhaustive
+ * sweeps visit every store 1..traceStores in order, so workers can
+ * claim points from an atomic ticket and block only until the master
+ * frontier passes their point — no need to know the total up front.
+ * Sampled sweeps keep the two-phase shape: stratification needs the
+ * total store count before any point can be enumerated.
+ */
+void
+runPipelinedSweep(const CrashSweepConfig &cfg,
+                  const std::vector<YcsbMixedOp> &trace,
+                  CrashSweepReport &report)
+{
+    TailPipeline pipe;
+    std::mutex results_mtx;
+    std::map<std::uint64_t, CrashPointOutcome> results;
+    std::atomic<std::uint64_t> ticket{1};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::uint64_t k = ticket.fetch_add(1);
+            const TraceCheckpoint *ckpt = nullptr;
+            std::uint64_t point = k;
+            {
+                std::unique_lock<std::mutex> lock(pipe.mtx);
+                pipe.cv.wait(lock, [&] {
+                    return pipe.done || pipe.frontier >= k;
+                });
+                if (pipe.done && pipe.error)
+                    return;
+                if (pipe.done && k > pipe.traceStores) {
+                    // Exactly one ticket past the last store runs the
+                    // post-completion point; later tickets are spent.
+                    if (!cfg.crashAfterCompletion ||
+                        k != pipe.traceStores + 1)
+                        return;
+                    point = 0;
+                    ckpt = &pipe.entries.back();
+                } else {
+                    ckpt = &pipe.entries.front();
+                    for (const auto &entry : pipe.entries) {
+                        if (entry.storesAt < k)
+                            ckpt = &entry;
+                        else
+                            break;
+                    }
+                }
+            }
+            CrashPointOutcome out =
+                runPointFromBase(cfg, trace, *ckpt, point);
+            std::lock_guard<std::mutex> lock(results_mtx);
+            results[point] = std::move(out);
+            if (point == 0)
+                return;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    const std::size_t workers = std::max<std::size_t>(cfg.workers, 1);
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    runPipelineMaster(cfg, trace, pipe);
+    // The master is finished; its thread joins the replay pool until
+    // the remaining tails drain.
+    worker();
+    for (auto &t : threads)
+        t.join();
+    if (pipe.error)
+        std::rethrow_exception(pipe.error);
+
+    report.traceStores = pipe.traceStores;
+    const auto points = enumeratePoints(cfg, report.traceStores);
+    report.points.reserve(points.size());
+    for (std::uint64_t p : points)
+        report.points.push_back(std::move(results.at(p)));
 }
 
 /**
@@ -435,7 +613,12 @@ runCrashSweep(const CrashSweepConfig &cfg)
     report.traceOps = trace.size();
 
     const auto t0 = std::chrono::steady_clock::now();
-    if (cfg.useCheckpoints) {
+    if (cfg.useCheckpoints && cfg.maxPoints == 0) {
+        // Exhaustive sweep: every store is a point, so the tail
+        // replays can start while the master run is still building
+        // the checkpoint chain.
+        runPipelinedSweep(cfg, trace, report);
+    } else if (cfg.useCheckpoints) {
         const CheckpointChain chain = buildCheckpointChain(cfg, trace);
         report.traceStores = chain.traceStores;
         const auto points = enumeratePoints(cfg, report.traceStores);

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pm_system.hh"
 #include "stats/stats.hh"
 #include "txn/engine.hh"
 #include "txn/scheme.hh"
@@ -111,6 +112,14 @@ struct CrashSweepConfig
      * and every crash point recovers from an empty persistent log.
      */
     bool tinyCache = false;
+
+    /**
+     * SoA layout self-check policy for every machine the sweep builds
+     * (master, forks, from-scratch replays). Never serialised into
+     * the report: a forced-On sweep must produce a byte-identical
+     * document to a forced-Off one (the LayoutDiff differential).
+     */
+    LayoutAudit layoutAudit = LayoutAudit::Default;
 
     /**
      * Fault-injection knobs for the explorer's own tests: deliberately

@@ -58,12 +58,10 @@ TEST(Cache, LruVictimSelection)
 {
     Cache c(CacheConfig{"c", 2 * cacheLineSize, 2, 1});  // 1 set, 2 ways
     CacheLine &a = c.victimFor(0x0);
-    a.tag = 0x0;
-    a.state = MesiState::Exclusive;
+    c.fillFrame(a, 0x0, MesiState::Exclusive);
     c.touch(a);
     CacheLine &b = c.victimFor(0x40);
-    b.tag = 0x40;
-    b.state = MesiState::Exclusive;
+    c.fillFrame(b, 0x40, MesiState::Exclusive);
     c.touch(b);
     // Touch A again: B becomes LRU.
     c.touch(*c.find(0x0));
@@ -76,15 +74,13 @@ TEST(Cache, VictimForPrefersFirstInvalidWay)
     // Fill ways 0 and 1; ways 2 and 3 stay invalid.
     for (Addr a : {Addr{0x0}, Addr{0x40}}) {
         CacheLine &line = c.victimFor(a);
-        line.tag = a;
-        line.state = MesiState::Exclusive;
+        c.fillFrame(line, a, MesiState::Exclusive);
         c.touch(line);
     }
     // The first invalid way (way 2) wins, not the LRU valid way.
     CacheLine &v1 = c.victimFor(0x80);
     EXPECT_FALSE(v1.valid());
-    v1.tag = 0x80;
-    v1.state = MesiState::Exclusive;
+    c.fillFrame(v1, 0x80, MesiState::Exclusive);
     CacheLine &v2 = c.victimFor(0xC0);
     EXPECT_FALSE(v2.valid());
     EXPECT_NE(&v1, &v2);
@@ -98,18 +94,35 @@ TEST(Cache, VictimForBreaksLruTiesByLowestWay)
     // less-than comparison keeps the first-scanned, lowest way.
     for (Addr a : {Addr{0x0}, Addr{0x40}}) {
         CacheLine &line = c.victimFor(a);
-        line.tag = a;
-        line.state = MesiState::Exclusive;
+        c.fillFrame(line, a, MesiState::Exclusive);
     }
     EXPECT_EQ(&c.victimFor(0x80), c.find(0x0));
+}
+
+TEST(Cache, ProbeKeysTrackFillAndInvalidate)
+{
+    Cache c(CacheConfig{"c", 2 * cacheLineSize, 2, 1});
+    std::string why;
+    EXPECT_TRUE(c.checkProbeKeys(&why)) << why;
+    CacheLine &a = c.victimFor(0x40);
+    c.fillFrame(a, 0x40, MesiState::Exclusive);
+    EXPECT_TRUE(c.checkProbeKeys(&why)) << why;
+    EXPECT_EQ(c.find(0x40), &a);
+    c.invalidateFrame(a);
+    EXPECT_TRUE(c.checkProbeKeys(&why)) << why;
+    EXPECT_EQ(c.find(0x40), nullptr);
+    // A stale direct mutation is what the audit exists to catch.
+    c.fillFrame(a, 0x40, MesiState::Exclusive);
+    a.state = MesiState::Invalid;  // bypasses invalidateFrame()
+    EXPECT_FALSE(c.checkProbeKeys(&why));
+    EXPECT_FALSE(why.empty());
 }
 
 TEST(Cache, ConstFindMatchesMutableFind)
 {
     Cache c(CacheConfig{"c", 2 * cacheLineSize, 2, 1});
     CacheLine &a = c.victimFor(0x40);
-    a.tag = 0x40;
-    a.state = MesiState::Shared;
+    c.fillFrame(a, 0x40, MesiState::Shared);
     const Cache &cc = c;
     EXPECT_EQ(cc.find(0x40), c.find(0x40));
     EXPECT_EQ(cc.find(0x40), &a);
@@ -222,19 +235,20 @@ TEST_F(HierarchyTest, PartialLogBitsLostOnAggregation)
     EXPECT_EQ(back.line->logBits, 0x00);
 }
 
-/** Eviction client recording callbacks. */
-class RecordingClient : public EvictionClient
+/** Eviction client recording callbacks (bound via the devirtualized
+ *  setEvictionClient — no interface class to inherit). */
+class RecordingClient
 {
   public:
     Cycles
-    evictingPrivateLine(CacheLine &line, Cycles) override
+    evictingPrivateLine(CacheLine &line, Cycles)
     {
         evicted.push_back(line.tag);
         return 0;
     }
 
     std::pair<Cycles, std::uint8_t>
-    roundUpLogBits(CacheLine &, std::uint8_t missing, Cycles) override
+    roundUpLogBits(CacheLine &, std::uint8_t missing, Cycles)
     {
         offered.push_back(missing);
         return {0, missing};  // round everything up

@@ -29,26 +29,34 @@ struct GoldenCase
     std::uint64_t pmWriteBytes;
     std::uint64_t logRecords;
     std::uint64_t undoWireBytes;
+
+    /** PR 10 layout anchors: the log-buffer arena's coalesce/drain
+     *  activity and the metadata-index walk count. A drift here with
+     *  the figure metrics unchanged means the SoA arrays or the tier
+     *  arenas changed *behaviour*, not just layout. */
+    std::uint64_t logbufCoalesces;
+    std::uint64_t logbufTierDrains;
+    std::uint64_t metaWalks;
 };
 
 // Pinned workload: hashtable, 200 ops, 64 B values, seed 42.
 const GoldenCase goldenCases[] = {
     {SchemeKind::FG, LoggingStyle::Undo, 678055ull, 133600ull, 4940ull,
-     52448ull},
+     52448ull, 3324ull, 29ull, 200ull},
     {SchemeKind::FG_LG, LoggingStyle::Undo, 606143ull, 87720ull, 421ull,
-     6568ull},
+     6568ull, 21ull, 0ull, 200ull},
     {SchemeKind::FG_LZ, LoggingStyle::Undo, 598279ull, 129520ull,
-     4940ull, 48432ull},
+     4940ull, 48432ull, 3324ull, 29ull, 399ull},
     {SchemeKind::SLPMT, LoggingStyle::Undo, 536265ull, 84504ull, 421ull,
-     3416ull},
+     3416ull, 21ull, 0ull, 399ull},
     {SchemeKind::SLPMT_CL, LoggingStyle::Undo, 541542ull, 95704ull,
-     400ull, 14616ull},
+     400ull, 14616ull, 0ull, 0ull, 399ull},
     {SchemeKind::ATOM, LoggingStyle::Undo, 822872ull, 170648ull,
-     1243ull, 89496ull},
+     1243ull, 89496ull, 0ull, 30ull, 200ull},
     {SchemeKind::EDE, LoggingStyle::Undo, 1179286ull, 184560ull,
-     3993ull, 103408ull},
+     3993ull, 103408ull, 0ull, 0ull, 200ull},
     {SchemeKind::SLPMT, LoggingStyle::Redo, 563283ull, 90920ull, 421ull,
-     9768ull},
+     9768ull, 21ull, 0ull, 403ull},
 };
 
 TEST(GoldenStats, PinnedConfigsMatchExactly)
@@ -70,6 +78,14 @@ TEST(GoldenStats, PinnedConfigsMatchExactly)
         EXPECT_EQ(res.logRecords, golden.logRecords) << label;
         EXPECT_EQ(res.stats.at("undolog.wireBytes"),
                   golden.undoWireBytes)
+            << label;
+        EXPECT_EQ(res.stats.at("logbuf.coalesces"),
+                  golden.logbufCoalesces)
+            << label;
+        EXPECT_EQ(res.stats.at("logbuf.tierDrains"),
+                  golden.logbufTierDrains)
+            << label;
+        EXPECT_EQ(res.stats.at("cache.metaWalks"), golden.metaWalks)
             << label;
     }
 }

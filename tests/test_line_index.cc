@@ -227,15 +227,19 @@ TEST(LineIndex, AuditDetectsHandCorruptedIndex)
     CacheLine *line =
         sys.hierarchy().findPrivate(sys.map().heapBase() + 8192);
     ASSERT_NE(line, nullptr);
+    Cache &owner = sys.hierarchy().l1().find(line->tag) == line
+                       ? sys.hierarchy().l1()
+                       : sys.hierarchy().l2();
     const std::uint8_t saved = line->txnId;
     line->txnId = saved == 0 ? 1 : 0;
-    line->metaLinked = false;  // pretend the sync never happened
+    // Pretend the sync never happened.
+    owner.setMetaLinkedForTest(*line, false);
     EXPECT_FALSE(sys.hierarchy().verifyMetaIndex(&why));
     EXPECT_NE(why.find("not indexed"), std::string::npos) << why;
 
     // Restore so teardown paths stay sane.
     line->txnId = saved;
-    line->metaLinked = true;
+    owner.setMetaLinkedForTest(*line, true);
     sys.txCommit();
 }
 

@@ -19,12 +19,13 @@ namespace slpmt
 namespace
 {
 
-/** Sink capturing drained records. */
-class CaptureSink : public LogDrainSink
+/** Sink capturing drained records (bound via the devirtualized
+ *  LogBuffer::setSink — no interface class to inherit). */
+class CaptureSink
 {
   public:
     Cycles
-    persistRecord(const LogRecord &rec, Cycles) override
+    persistRecord(const LogRecord &rec, Cycles)
     {
         drained.push_back(rec);
         return 10;
